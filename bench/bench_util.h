@@ -1,0 +1,215 @@
+// Shared drivers for the figure/table reproduction harnesses.
+//
+// Every harness follows the paper's evaluation recipe: generate one stream,
+// feed all protocols the identical (site, element) sequence, then report
+// the metrics of Section 6 — recall / precision / avg relative error of
+// true heavy hitters / message counts for the HH experiments, and
+// covariance error / message counts for the matrix experiments.
+#ifndef DMT_BENCH_BENCH_UTIL_H_
+#define DMT_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "data/synthetic_matrix.h"
+#include "data/zipf.h"
+#include "hh/exact_tracker.h"
+#include "hh/hh_protocol.h"
+#include "hh/p1_batched_mg.h"
+#include "hh/p2_threshold.h"
+#include "hh/p3_sampling.h"
+#include "hh/p4_randomized.h"
+#include "matrix/baselines.h"
+#include "matrix/error.h"
+#include "matrix/matrix_protocol.h"
+#include "matrix/mp1_batched_fd.h"
+#include "matrix/mp2_svd_threshold.h"
+#include "matrix/mp3_sampling.h"
+#include "matrix/mp4_experimental.h"
+#include "stream/router.h"
+#include "util/env.h"
+#include "util/table_printer.h"
+
+namespace dmt {
+namespace bench {
+
+// ---------------------------------------------------------------------
+// Heavy hitters.
+// ---------------------------------------------------------------------
+
+struct HhMetrics {
+  std::string protocol;
+  double recall = 0.0;
+  double precision = 0.0;
+  double avg_rel_err = 0.0;  // of true heavy hitters
+  uint64_t messages = 0;
+};
+
+struct HhExperimentConfig {
+  size_t stream_len = 1000000;
+  size_t num_sites = 50;
+  uint64_t universe = 10000;
+  double skew = 2.0;
+  double beta = 1000.0;
+  double phi = 0.05;
+  uint64_t seed = 1;
+};
+
+inline std::unique_ptr<hh::HeavyHitterProtocol> MakeHhProtocol(
+    const std::string& name, size_t m, double eps, uint64_t seed) {
+  if (name == "P1") return std::make_unique<hh::P1BatchedMG>(m, eps);
+  if (name == "P2") return std::make_unique<hh::P2Threshold>(m, eps);
+  if (name == "P3") return std::make_unique<hh::P3SamplingWoR>(m, eps, seed);
+  if (name == "P3wr") return std::make_unique<hh::P3SamplingWR>(m, eps, seed);
+  if (name == "P4") return std::make_unique<hh::P4Randomized>(m, eps, seed);
+  return std::make_unique<hh::ExactTracker>(m);
+}
+
+/// Runs all `protocol_names` over one shared Zipfian stream with the given
+/// per-protocol epsilon values (parallel array), and reports the paper's
+/// four HH metrics for each.
+inline std::vector<HhMetrics> RunHhExperiment(
+    const HhExperimentConfig& cfg,
+    const std::vector<std::string>& protocol_names,
+    const std::vector<double>& epsilons) {
+  std::vector<std::unique_ptr<hh::HeavyHitterProtocol>> protocols;
+  for (size_t i = 0; i < protocol_names.size(); ++i) {
+    protocols.push_back(MakeHhProtocol(protocol_names[i], cfg.num_sites,
+                                       epsilons[i], cfg.seed + 100 + i));
+  }
+
+  data::ZipfianStream z(cfg.universe, cfg.skew, cfg.beta, cfg.seed);
+  stream::Router router(cfg.num_sites, stream::RoutingPolicy::kUniform,
+                        cfg.seed + 1);
+  data::ExactWeights truth;
+  for (size_t i = 0; i < cfg.stream_len; ++i) {
+    data::WeightedItem item = z.Next();
+    truth.Observe(item);
+    const size_t site = router.NextSite();
+    for (auto& p : protocols) p->Process(site, item.element, item.weight);
+  }
+
+  const auto truth_hh = truth.HeavyHitters(cfg.phi);
+  std::vector<HhMetrics> out;
+  for (size_t i = 0; i < protocols.size(); ++i) {
+    const auto& p = protocols[i];
+    HhMetrics m;
+    m.protocol = protocol_names[i];
+    m.messages = p->comm_stats().total();
+
+    auto reported = p->HeavyHitters(cfg.phi, epsilons[i]);
+    size_t hits = 0;
+    for (uint64_t e : truth_hh) {
+      if (std::find(reported.begin(), reported.end(), e) != reported.end()) {
+        ++hits;
+      }
+    }
+    m.recall = truth_hh.empty()
+                   ? 1.0
+                   : static_cast<double>(hits) / truth_hh.size();
+    m.precision = reported.empty()
+                      ? 1.0
+                      : static_cast<double>(hits) / reported.size();
+    double err_sum = 0.0;
+    for (uint64_t e : truth_hh) {
+      const double w = truth.Weight(e);
+      err_sum += std::abs(p->EstimateElementWeight(e) - w) / w;
+    }
+    m.avg_rel_err = truth_hh.empty() ? 0.0 : err_sum / truth_hh.size();
+    out.push_back(m);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Matrix tracking.
+// ---------------------------------------------------------------------
+
+struct MatrixMetrics {
+  std::string protocol;
+  double err = 0.0;  // ||A^T A - B^T B||_2 / ||A||_F^2
+  uint64_t messages = 0;
+};
+
+struct MatrixExperimentConfig {
+  data::SyntheticMatrixConfig generator;
+  size_t stream_len = 100000;
+  size_t num_sites = 50;
+  uint64_t seed = 1;
+};
+
+struct MatrixProtocolSpec {
+  std::string name;  // P1 | P2 | P3 | P3wr | P4 | FD | SVD
+  double eps = 0.1;
+  size_t k = 30;  // only for FD / SVD baselines
+};
+
+inline std::unique_ptr<matrix::MatrixTrackingProtocol> MakeMatrixProtocol(
+    const MatrixProtocolSpec& spec, size_t m, size_t dim, uint64_t seed) {
+  if (spec.name == "P1") {
+    return std::make_unique<matrix::MP1BatchedFD>(m, spec.eps);
+  }
+  if (spec.name == "P2") {
+    return std::make_unique<matrix::MP2SvdThreshold>(m, spec.eps);
+  }
+  if (spec.name == "P3") {
+    return std::make_unique<matrix::MP3SamplingWoR>(m, spec.eps, seed);
+  }
+  if (spec.name == "P3wr") {
+    return std::make_unique<matrix::MP3SamplingWR>(m, spec.eps, seed);
+  }
+  if (spec.name == "P4") {
+    return std::make_unique<matrix::MP4Experimental>(m, spec.eps, seed);
+  }
+  if (spec.name == "FD") {
+    return std::make_unique<matrix::NaiveFdBaseline>(m, spec.k);
+  }
+  return std::make_unique<matrix::NaiveSvdBaseline>(m, dim, spec.k);
+}
+
+/// Runs all `specs` over one shared synthetic row stream; reports the
+/// paper's matrix metrics for each.
+inline std::vector<MatrixMetrics> RunMatrixExperiment(
+    const MatrixExperimentConfig& cfg,
+    const std::vector<MatrixProtocolSpec>& specs) {
+  std::vector<std::unique_ptr<matrix::MatrixTrackingProtocol>> protocols;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    protocols.push_back(MakeMatrixProtocol(specs[i], cfg.num_sites,
+                                           cfg.generator.dim,
+                                           cfg.seed + 200 + i));
+  }
+
+  data::SyntheticMatrixGenerator gen(cfg.generator);
+  stream::Router router(cfg.num_sites, stream::RoutingPolicy::kUniform,
+                        cfg.seed + 2);
+  matrix::CovarianceTracker truth(cfg.generator.dim);
+  for (size_t i = 0; i < cfg.stream_len; ++i) {
+    std::vector<double> row = gen.Next();
+    truth.AddRow(row);
+    const size_t site = router.NextSite();
+    for (auto& p : protocols) p->ProcessRow(site, row);
+  }
+
+  std::vector<MatrixMetrics> out;
+  for (size_t i = 0; i < protocols.size(); ++i) {
+    MatrixMetrics m;
+    m.protocol = specs[i].name;
+    m.err = matrix::CovarianceError(truth, protocols[i]->CoordinatorGram());
+    m.messages = protocols[i]->comm_stats().total();
+    out.push_back(m);
+  }
+  return out;
+}
+
+/// Formats a count compactly for table cells.
+inline std::string Fmt(uint64_t v) { return std::to_string(v); }
+inline std::string Fmt(double v) { return TablePrinter::FormatDouble(v); }
+
+}  // namespace bench
+}  // namespace dmt
+
+#endif  // DMT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,60 @@
+// Figure 2 (a)-(d): matrix tracking on the PAMAP-like (low rank) stream.
+//
+//   (a) err vs eps   (b) messages vs eps   (eps in {5e-3 ... 5e-1}, m=50)
+//   (c) messages vs m   (d) err vs m       (m in {10..100}, eps=0.1)
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dmt;
+  using namespace dmt::bench;
+
+  MatrixExperimentConfig base;
+  base.generator = data::SyntheticMatrixGenerator::PamapLike(42);
+  base.stream_len = static_cast<size_t>(ScaledN(629250, 6, 60));
+  base.num_sites = 50;
+
+  std::printf("Figure 2: PAMAP-like stream, N=%zu, d=%zu\n\n",
+              base.stream_len, base.generator.dim);
+
+  const std::vector<double> eps_values{5e-3, 1e-2, 5e-2, 1e-1, 5e-1};
+  TablePrinter err_eps("Figure 2(a): err vs eps (m=50)");
+  TablePrinter msg_eps("Figure 2(b): messages vs eps (m=50)");
+  err_eps.SetHeader({"eps", "P1", "P2", "P3"});
+  msg_eps.SetHeader({"eps", "P1", "P2", "P3"});
+  for (double eps : eps_values) {
+    std::vector<MatrixProtocolSpec> specs{
+        {"P1", eps, 0}, {"P2", eps, 0}, {"P3", eps, 0}};
+    auto rows = RunMatrixExperiment(base, specs);
+    err_eps.AddRow(
+        {Fmt(eps), Fmt(rows[0].err), Fmt(rows[1].err), Fmt(rows[2].err)});
+    msg_eps.AddRow({Fmt(eps), Fmt(rows[0].messages), Fmt(rows[1].messages),
+                    Fmt(rows[2].messages)});
+  }
+  err_eps.Print();
+  std::printf("\n");
+  msg_eps.Print();
+  std::printf("\n");
+
+  TablePrinter msg_m("Figure 2(c): messages vs sites (eps=0.1)");
+  TablePrinter err_m("Figure 2(d): err vs sites (eps=0.1)");
+  msg_m.SetHeader({"m", "P1", "P2", "P3"});
+  err_m.SetHeader({"m", "P1", "P2", "P3"});
+  for (size_t m : {10u, 25u, 50u, 75u, 100u}) {
+    MatrixExperimentConfig cfg = base;
+    cfg.num_sites = m;
+    std::vector<MatrixProtocolSpec> specs{
+        {"P1", 0.1, 0}, {"P2", 0.1, 0}, {"P3", 0.1, 0}};
+    auto rows = RunMatrixExperiment(cfg, specs);
+    msg_m.AddRow({Fmt(static_cast<uint64_t>(m)), Fmt(rows[0].messages),
+                  Fmt(rows[1].messages), Fmt(rows[2].messages)});
+    err_m.AddRow({Fmt(static_cast<uint64_t>(m)), Fmt(rows[0].err),
+                  Fmt(rows[1].err), Fmt(rows[2].err)});
+  }
+  msg_m.Print();
+  std::printf("\n");
+  err_m.Print();
+  return 0;
+}

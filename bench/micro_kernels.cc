@@ -1,0 +1,102 @@
+// Micro benchmarks (google-benchmark) for the computational kernels the
+// protocols are built on. Not a paper figure; used to track the library's
+// own performance.
+#include <benchmark/benchmark.h>
+
+#include "data/zipf.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/spectral.h"
+#include "sketch/count_min.h"
+#include "sketch/frequent_directions.h"
+#include "sketch/misra_gries.h"
+#include "sketch/priority_sampler.h"
+#include "sketch/space_saving.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dmt;
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  linalg::Matrix a = linalg::RandomGaussianMatrix(4 * d, d, &rng);
+  linalg::Matrix gram = a.Gram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::SymmetricEigen(gram));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JacobiEigen)->Arg(16)->Arg(44)->Arg(90);
+
+void BM_FrequentDirectionsAppend(benchmark::State& state) {
+  const size_t ell = static_cast<size_t>(state.range(0));
+  const size_t d = 44;
+  Rng rng(2);
+  sketch::FrequentDirections fd(ell, d);
+  std::vector<double> row(d);
+  for (auto _ : state) {
+    for (auto& v : row) v = rng.NextGaussian();
+    fd.Append(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrequentDirectionsAppend)->Arg(8)->Arg(20)->Arg(50);
+
+void BM_MisraGriesUpdate(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  sketch::WeightedMisraGries mg(k);
+  data::ZipfianStream z(100000, 1.2, 100.0, 3);
+  for (auto _ : state) {
+    data::WeightedItem item = z.Next();
+    mg.Update(item.element, item.weight);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MisraGriesUpdate)->Arg(64)->Arg(1024);
+
+void BM_SpaceSavingUpdate(benchmark::State& state) {
+  sketch::SpaceSaving ss(static_cast<size_t>(state.range(0)));
+  data::ZipfianStream z(100000, 1.2, 100.0, 4);
+  for (auto _ : state) {
+    data::WeightedItem item = z.Next();
+    ss.Update(item.element, item.weight);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingUpdate)->Arg(64)->Arg(1024);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  sketch::CountMin cm(4, 2048, 5);
+  data::ZipfianStream z(100000, 1.2, 100.0, 5);
+  for (auto _ : state) {
+    data::WeightedItem item = z.Next();
+    cm.Update(item.element, item.weight);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_PrioritySamplerAdd(benchmark::State& state) {
+  sketch::PrioritySamplerWoR sampler(static_cast<size_t>(state.range(0)), 6);
+  data::ZipfianStream z(100000, 1.2, 100.0, 7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    data::WeightedItem item = z.Next();
+    sampler.Add(i++, item.weight);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrioritySamplerAdd)->Arg(256)->Arg(4096);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  data::ZipfianStream z(static_cast<uint64_t>(state.range(0)), 2.0, 1000.0,
+                        8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext)->Arg(10000)->Arg(1000000);
+
+}  // namespace

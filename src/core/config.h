@@ -1,0 +1,48 @@
+// Public configuration types for the tracker facades.
+#ifndef DMT_CORE_CONFIG_H_
+#define DMT_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dmt {
+
+/// Which distributed matrix tracking protocol to run.
+enum class MatrixProtocol {
+  kP1BatchedFD,    ///< deterministic, batched FD sketches (Sec. 5.1)
+  kP2SvdThreshold, ///< deterministic, per-direction thresholds (Sec. 5.2)
+  kP3SampleWoR,    ///< randomized, priority row sampling (Sec. 5.3)
+  kP3SampleWR,     ///< randomized, with-replacement sampling (Sec. 4.3.1)
+  kP4Experimental, ///< appendix C negative result (for study only)
+};
+
+/// Which distributed weighted heavy-hitters protocol to run.
+enum class HhProtocol {
+  kP1BatchedMG,
+  kP2Threshold,
+  kP3SampleWoR,
+  kP3SampleWR,
+  kP4Randomized,
+  kExact,
+};
+
+/// Configuration shared by both tracker facades.
+struct TrackerConfig {
+  size_t num_sites = 8;    ///< m: number of distributed sites
+  double epsilon = 0.1;    ///< target error fraction
+  uint64_t seed = 1;       ///< seed for randomized protocols
+};
+
+/// Matrix tracker configuration.
+struct MatrixTrackerConfig : TrackerConfig {
+  MatrixProtocol protocol = MatrixProtocol::kP2SvdThreshold;
+};
+
+/// Heavy-hitters tracker configuration.
+struct HhTrackerConfig : TrackerConfig {
+  HhProtocol protocol = HhProtocol::kP2Threshold;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_CORE_CONFIG_H_

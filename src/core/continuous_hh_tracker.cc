@@ -1,0 +1,73 @@
+#include "core/continuous_hh_tracker.h"
+
+#include "hh/exact_tracker.h"
+#include "hh/p1_batched_mg.h"
+#include "hh/p2_threshold.h"
+#include "hh/p3_sampling.h"
+#include "hh/p4_randomized.h"
+#include "util/check.h"
+
+namespace dmt {
+
+ContinuousHeavyHitterTracker::ContinuousHeavyHitterTracker(
+    const HhTrackerConfig& config)
+    : config_(config) {
+  DMT_CHECK_GE(config.num_sites, 1u);
+  switch (config.protocol) {
+    case HhProtocol::kP1BatchedMG:
+      protocol_ = std::make_unique<hh::P1BatchedMG>(config.num_sites,
+                                                    config.epsilon);
+      break;
+    case HhProtocol::kP2Threshold:
+      protocol_ = std::make_unique<hh::P2Threshold>(config.num_sites,
+                                                    config.epsilon);
+      break;
+    case HhProtocol::kP3SampleWoR:
+      protocol_ = std::make_unique<hh::P3SamplingWoR>(
+          config.num_sites, config.epsilon, config.seed);
+      break;
+    case HhProtocol::kP3SampleWR:
+      protocol_ = std::make_unique<hh::P3SamplingWR>(
+          config.num_sites, config.epsilon, config.seed);
+      break;
+    case HhProtocol::kP4Randomized:
+      protocol_ = std::make_unique<hh::P4Randomized>(
+          config.num_sites, config.epsilon, config.seed);
+      break;
+    case HhProtocol::kExact:
+      protocol_ = std::make_unique<hh::ExactTracker>(config.num_sites);
+      break;
+  }
+}
+
+ContinuousHeavyHitterTracker::~ContinuousHeavyHitterTracker() = default;
+
+void ContinuousHeavyHitterTracker::Observe(size_t site, uint64_t element,
+                                           double weight) {
+  DMT_CHECK_LT(site, config_.num_sites);
+  protocol_->Process(site, element, weight);
+  ++items_seen_;
+}
+
+double ContinuousHeavyHitterTracker::EstimateWeight(uint64_t element) const {
+  return protocol_->EstimateElementWeight(element);
+}
+
+double ContinuousHeavyHitterTracker::EstimateTotalWeight() const {
+  return protocol_->EstimateTotalWeight();
+}
+
+std::vector<uint64_t> ContinuousHeavyHitterTracker::HeavyHitters(
+    double phi) const {
+  return protocol_->HeavyHitters(phi, config_.epsilon);
+}
+
+const stream::CommStats& ContinuousHeavyHitterTracker::comm_stats() const {
+  return protocol_->comm_stats();
+}
+
+std::string ContinuousHeavyHitterTracker::protocol_name() const {
+  return protocol_->name();
+}
+
+}  // namespace dmt

@@ -1,0 +1,45 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dmt {
+namespace data {
+
+linalg::Matrix LoadCsv(const std::string& path, char delimiter,
+                       size_t max_rows) {
+  std::ifstream in(path);
+  linalg::Matrix out;
+  if (!in.is_open()) return out;
+
+  std::string line;
+  size_t expected_cols = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    bool bad = false;
+    while (std::getline(ss, cell, delimiter)) {
+      char* end = nullptr;
+      double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        bad = true;  // non-numeric cell (e.g. a header line)
+        break;
+      }
+      row.push_back(v);
+    }
+    if (bad || row.empty()) continue;
+    if (expected_cols == 0) expected_cols = row.size();
+    if (row.size() != expected_cols) continue;
+    out.AppendRow(row);
+    if (max_rows != 0 && out.rows() >= max_rows) break;
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace dmt

@@ -1,0 +1,25 @@
+// Minimal CSV loader so users with access to the original PAMAP /
+// YearPredictionMSD datasets can replay the paper's experiments on the real
+// data (drop the file next to the bench binaries and pass its path).
+#ifndef DMT_DATA_CSV_H_
+#define DMT_DATA_CSV_H_
+
+#include <cstddef>
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace dmt {
+namespace data {
+
+/// Loads a numeric CSV file into a matrix. Rows with parse errors or a
+/// differing column count are skipped. `max_rows` = 0 means unlimited.
+/// Returns an empty matrix if the file cannot be opened.
+linalg::Matrix LoadCsv(const std::string& path, char delimiter = ',',
+                       size_t max_rows = 0);
+
+}  // namespace data
+}  // namespace dmt
+
+#endif  // DMT_DATA_CSV_H_

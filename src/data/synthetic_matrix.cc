@@ -1,0 +1,87 @@
+#include "data/synthetic_matrix.h"
+
+#include <cmath>
+
+#include "linalg/spectral.h"
+#include "linalg/vec_ops.h"
+#include "util/check.h"
+
+namespace dmt {
+namespace data {
+
+SyntheticMatrixGenerator::SyntheticMatrixGenerator(
+    const SyntheticMatrixConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK_GE(config_.dim, 1u);
+  DMT_CHECK_GE(config_.latent_rank, 1u);
+  // A latent rank beyond d means "full rank".
+  if (config_.latent_rank > config_.dim) config_.latent_rank = config_.dim;
+  DMT_CHECK_GT(config_.beta, 0.0);
+  DMT_CHECK_LE(config_.min_norm_sq, config_.beta);
+  basis_ = linalg::RandomOrthogonalMatrix(config_.dim, &rng_);
+  amplitudes_.resize(config_.dim, config_.noise_level);
+  for (size_t k = 0; k < config_.latent_rank; ++k) {
+    double amp;
+    if (config_.decay_power > 0.0) {
+      amp = std::pow(static_cast<double>(k + 1), -config_.decay_power);
+    } else {
+      amp = std::pow(config_.decay_base, static_cast<double>(k));
+    }
+    amplitudes_[k] = std::max(amp, config_.noise_level);
+  }
+}
+
+SyntheticMatrixConfig SyntheticMatrixGenerator::PamapLike(uint64_t seed) {
+  SyntheticMatrixConfig c;
+  c.dim = 44;
+  c.latent_rank = 25;
+  c.decay_base = 0.72;   // sigma_k ~ 0.72^k: energy gone well before k=30
+  c.decay_power = 0.0;
+  c.noise_level = 5e-4;
+  c.beta = 100.0;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticMatrixConfig SyntheticMatrixGenerator::MsdLike(uint64_t seed) {
+  SyntheticMatrixConfig c;
+  c.dim = 90;
+  c.latent_rank = 90;    // energy in every direction
+  c.decay_power = 0.35;  // sigma_k ~ (k+1)^-0.35: heavy spectral tail
+  c.noise_level = 5e-2;
+  c.beta = 100.0;
+  c.seed = seed;
+  return c;
+}
+
+std::vector<double> SyntheticMatrixGenerator::Next() {
+  const size_t d = config_.dim;
+  // Row = sum_k c_k * amp_k * basis_col_k with c_k ~ N(0,1), then clamped
+  // to the beta bound on the squared norm.
+  std::vector<double> row(d, 0.0);
+  for (size_t k = 0; k < d; ++k) {
+    const double ck = rng_.NextGaussian() * amplitudes_[k];
+    if (ck == 0.0) continue;
+    for (size_t j = 0; j < d; ++j) row[j] += ck * basis_(j, k);
+  }
+  const double sq = linalg::SquaredNorm(row);
+  if (sq > config_.beta) {
+    linalg::Scale(std::sqrt(config_.beta / sq), row.data(), d);
+  } else if (sq < config_.min_norm_sq) {
+    if (sq > 0.0) {
+      linalg::Scale(std::sqrt(config_.min_norm_sq / sq), row.data(), d);
+    } else {
+      row[0] = std::sqrt(config_.min_norm_sq);  // degenerate all-zero draw
+    }
+  }
+  return row;
+}
+
+linalg::Matrix SyntheticMatrixGenerator::Take(size_t n) {
+  linalg::Matrix m(0, 0);
+  for (size_t i = 0; i < n; ++i) m.AppendRow(Next());
+  return m;
+}
+
+}  // namespace data
+}  // namespace dmt

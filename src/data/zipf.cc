@@ -1,0 +1,63 @@
+#include "data/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dmt {
+namespace data {
+
+ZipfianStream::ZipfianStream(uint64_t universe, double skew, double beta,
+                             uint64_t seed)
+    : universe_(universe), beta_(beta), rng_(seed) {
+  DMT_CHECK_GE(universe, 1u);
+  DMT_CHECK_GE(beta, 1.0);
+  cdf_.resize(universe_);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < universe_; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against roundoff at the top end
+}
+
+WeightedItem ZipfianStream::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  WeightedItem item;
+  item.element = static_cast<uint64_t>(it - cdf_.begin());
+  // Uniform real weight in [1, beta].
+  item.weight = 1.0 + (beta_ - 1.0) * rng_.NextDouble();
+  return item;
+}
+
+std::vector<WeightedItem> ZipfianStream::Take(size_t n) {
+  std::vector<WeightedItem> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+void ExactWeights::Observe(const WeightedItem& item) {
+  if (item.element >= weights_.size()) weights_.resize(item.element + 1, 0.0);
+  weights_[item.element] += item.weight;
+  total_ += item.weight;
+}
+
+double ExactWeights::Weight(uint64_t element) const {
+  return element < weights_.size() ? weights_[element] : 0.0;
+}
+
+std::vector<uint64_t> ExactWeights::HeavyHitters(double phi) const {
+  std::vector<uint64_t> out;
+  const double bar = phi * total_;
+  for (uint64_t e = 0; e < weights_.size(); ++e) {
+    if (weights_[e] >= bar) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace dmt

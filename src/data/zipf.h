@@ -1,0 +1,65 @@
+// Zipfian weighted item stream, matching the paper's heavy-hitter workload:
+// "data from Zipfian distribution, skew parameter 2, 10^7 points, weights
+//  uniform random in [1, beta] (not necessarily integers)".
+#ifndef DMT_DATA_ZIPF_H_
+#define DMT_DATA_ZIPF_H_
+
+#include <cstddef>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dmt {
+namespace data {
+
+/// One weighted stream element.
+struct WeightedItem {
+  uint64_t element = 0;
+  double weight = 1.0;
+};
+
+/// Generator of Zipf-distributed elements with uniform [1, beta] weights.
+class ZipfianStream {
+ public:
+  /// `universe`: number of distinct elements (ids 0..universe-1);
+  /// `skew`: Zipf exponent (paper uses 2.0); `beta`: weight upper bound.
+  ZipfianStream(uint64_t universe, double skew, double beta, uint64_t seed);
+
+  /// Draws the next stream element.
+  WeightedItem Next();
+
+  /// Draws `n` elements at once.
+  std::vector<WeightedItem> Take(size_t n);
+
+  uint64_t universe() const { return universe_; }
+  double beta() const { return beta_; }
+
+ private:
+  uint64_t universe_;
+  double beta_;
+  Rng rng_;
+  std::vector<double> cdf_;  // cumulative element probabilities
+};
+
+/// Exact per-element weights for a generated stream (ground truth oracle).
+class ExactWeights {
+ public:
+  void Observe(const WeightedItem& item);
+
+  double Weight(uint64_t element) const;
+  double total_weight() const { return total_; }
+
+  /// All elements with weight >= phi * total (the true phi-heavy hitters).
+  std::vector<uint64_t> HeavyHitters(double phi) const;
+
+ private:
+  std::vector<double> weights_;  // index = element id (dense universe)
+  double total_ = 0.0;
+};
+
+}  // namespace data
+}  // namespace dmt
+
+#endif  // DMT_DATA_ZIPF_H_

@@ -1,0 +1,39 @@
+// Exact baseline: every element is forwarded to the coordinator.
+//
+// Zero error, Theta(N) messages — the reference point the paper's
+// "baseline ... would have no error" refers to in Section 6.1.
+#ifndef DMT_HH_EXACT_TRACKER_H_
+#define DMT_HH_EXACT_TRACKER_H_
+
+#include <cstddef>
+
+#include <unordered_map>
+
+#include "hh/hh_protocol.h"
+#include "stream/network.h"
+
+namespace dmt {
+namespace hh {
+
+/// Forward-everything exact tracker.
+class ExactTracker : public HeavyHitterProtocol {
+ public:
+  explicit ExactTracker(size_t num_sites);
+
+  void Process(size_t site, uint64_t element, double weight) override;
+  double EstimateElementWeight(uint64_t element) const override;
+  double EstimateTotalWeight() const override;
+  const stream::CommStats& comm_stats() const override;
+  std::string name() const override { return "Exact"; }
+  std::vector<uint64_t> TrackedElements() const override;
+
+ private:
+  stream::Network network_;
+  std::unordered_map<uint64_t, double> weights_;
+  double total_ = 0.0;
+};
+
+}  // namespace hh
+}  // namespace dmt
+
+#endif  // DMT_HH_EXACT_TRACKER_H_

@@ -1,0 +1,64 @@
+// Common interface for distributed weighted heavy-hitter protocols
+// (paper Section 4).
+#ifndef DMT_HH_HH_PROTOCOL_H_
+#define DMT_HH_HH_PROTOCOL_H_
+
+#include <cstddef>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/comm_stats.h"
+
+namespace dmt {
+namespace hh {
+
+/// A distributed weighted heavy-hitters tracking protocol: items arrive at
+/// sites; the coordinator continuously answers weight queries.
+class HeavyHitterProtocol {
+ public:
+  virtual ~HeavyHitterProtocol() = default;
+
+  /// Processes one stream element arriving at `site`. `weight` > 0.
+  virtual void Process(size_t site, uint64_t element, double weight) = 0;
+
+  /// Coordinator's current estimate of element's total weight.
+  virtual double EstimateElementWeight(uint64_t element) const = 0;
+
+  /// Coordinator's current estimate of the total stream weight W.
+  virtual double EstimateTotalWeight() const = 0;
+
+  /// Communication counters so far.
+  virtual const stream::CommStats& comm_stats() const = 0;
+
+  /// Short display name (e.g. "P2").
+  virtual std::string name() const = 0;
+
+  /// Returns every element the coordinator currently tracks that passes the
+  /// paper's report rule: Estimate(e)/EstimateTotal() >= phi - eps/2.
+  /// The default implementation filters `TrackedElements()`.
+  std::vector<uint64_t> HeavyHitters(double phi, double eps) const;
+
+  /// Elements the coordinator has any evidence for (candidates for
+  /// HeavyHitters()). Order is unspecified.
+  virtual std::vector<uint64_t> TrackedElements() const = 0;
+};
+
+inline std::vector<uint64_t> HeavyHitterProtocol::HeavyHitters(
+    double phi, double eps) const {
+  std::vector<uint64_t> out;
+  const double total = EstimateTotalWeight();
+  if (total <= 0.0) return out;
+  for (uint64_t e : TrackedElements()) {
+    if (EstimateElementWeight(e) / total >= phi - eps / 2.0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace hh
+}  // namespace dmt
+
+#endif  // DMT_HH_HH_PROTOCOL_H_

@@ -1,0 +1,78 @@
+#include "hh/p1_batched_mg.h"
+
+#include "util/check.h"
+
+namespace dmt {
+namespace hh {
+
+P1BatchedMG::P1BatchedMG(size_t num_sites, double eps)
+    : eps_(eps),
+      network_(num_sites),
+      coordinator_summary_(sketch::WeightedMisraGries::WithEpsilon(eps / 2)) {
+  DMT_CHECK_GT(eps, 0.0);
+  DMT_CHECK_LE(eps, 1.0);
+  site_summaries_.reserve(num_sites);
+  for (size_t i = 0; i < num_sites; ++i) {
+    site_summaries_.push_back(
+        sketch::WeightedMisraGries::WithEpsilon(eps / 2));
+  }
+  site_weight_.assign(num_sites, 0.0);
+  site_west_.assign(num_sites, 0.0);
+}
+
+void P1BatchedMG::Process(size_t site, uint64_t element, double weight) {
+  DMT_CHECK_LT(site, site_summaries_.size());
+  DMT_CHECK_GT(weight, 0.0);
+  site_summaries_[site].Update(element, weight);
+  site_weight_[site] += weight;
+
+  const double m = static_cast<double>(network_.num_sites());
+  const double tau = (eps_ / (2.0 * m)) * site_west_[site];
+  // Before the first broadcast tau is 0 and every item triggers a flush;
+  // this is the bootstrap the paper leaves implicit.
+  if (site_weight_[site] >= tau) FlushSite(site);
+}
+
+void P1BatchedMG::FlushSite(size_t site) {
+  // Message cost: every live counter travels as an (element, weight) pair;
+  // the scalar W_i piggybacks on the batch (Algorithm 4.1 ships "(G_i,
+  // W_i)" as one payload). An empty summary still costs the scalar.
+  for (size_t c = 0; c < site_summaries_[site].size(); ++c) {
+    network_.RecordElement(site);
+  }
+  if (site_summaries_[site].size() == 0) network_.RecordScalar(site);
+
+  coordinator_summary_.Merge(site_summaries_[site]);
+  coordinator_weight_ += site_weight_[site];
+  site_summaries_[site].Clear();
+  site_weight_[site] = 0.0;
+
+  if (broadcast_weight_ == 0.0 ||
+      coordinator_weight_ / broadcast_weight_ > 1.0 + eps_ / 2.0) {
+    broadcast_weight_ = coordinator_weight_;
+    network_.RecordBroadcast();
+    network_.RecordRound();
+    for (auto& w : site_west_) w = broadcast_weight_;
+  }
+}
+
+double P1BatchedMG::EstimateElementWeight(uint64_t element) const {
+  return coordinator_summary_.Estimate(element);
+}
+
+double P1BatchedMG::EstimateTotalWeight() const {
+  return coordinator_weight_;
+}
+
+const stream::CommStats& P1BatchedMG::comm_stats() const {
+  return network_.stats();
+}
+
+std::vector<uint64_t> P1BatchedMG::TrackedElements() const {
+  std::vector<uint64_t> out;
+  for (const auto& [e, w] : coordinator_summary_.Items()) out.push_back(e);
+  return out;
+}
+
+}  // namespace hh
+}  // namespace dmt

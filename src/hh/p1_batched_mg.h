@@ -1,0 +1,57 @@
+// Protocol P1: batched Misra-Gries (paper Algorithms 4.1 / 4.2).
+//
+// Each site runs a weighted MG summary with eps' = eps/2 error and tracks
+// the local weight W_i since its last flush. When W_i reaches
+// tau = (eps/2m) * W-hat, the whole summary is shipped to the coordinator
+// and the site resets. The coordinator merges summaries (mergeability of
+// MG keeps the error bound) and re-broadcasts W-hat whenever its tally
+// grew by a (1 + eps/2) factor.
+//
+// Guarantee: |W_e - Estimate(e)| <= eps * W for every element, with
+// O((m/eps^2) log(beta*N)) total messages (Lemma 2).
+#ifndef DMT_HH_P1_BATCHED_MG_H_
+#define DMT_HH_P1_BATCHED_MG_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "hh/hh_protocol.h"
+#include "sketch/misra_gries.h"
+#include "stream/network.h"
+
+namespace dmt {
+namespace hh {
+
+/// Deterministic batched-summary protocol (P1).
+class P1BatchedMG : public HeavyHitterProtocol {
+ public:
+  /// `num_sites` = m, `eps` = target additive error fraction.
+  P1BatchedMG(size_t num_sites, double eps);
+
+  void Process(size_t site, uint64_t element, double weight) override;
+  double EstimateElementWeight(uint64_t element) const override;
+  double EstimateTotalWeight() const override;
+  const stream::CommStats& comm_stats() const override;
+  std::string name() const override { return "P1"; }
+  std::vector<uint64_t> TrackedElements() const override;
+
+ private:
+  void FlushSite(size_t site);
+
+  double eps_;
+  stream::Network network_;
+  // Per-site state.
+  std::vector<sketch::WeightedMisraGries> site_summaries_;
+  std::vector<double> site_weight_;    // W_i since last flush
+  std::vector<double> site_west_;      // W-hat as known by the site
+  // Coordinator state.
+  sketch::WeightedMisraGries coordinator_summary_;
+  double coordinator_weight_ = 0.0;    // W_C
+  double broadcast_weight_ = 0.0;      // last broadcast W-hat
+};
+
+}  // namespace hh
+}  // namespace dmt
+
+#endif  // DMT_HH_P1_BATCHED_MG_H_

@@ -1,0 +1,94 @@
+#include "hh/p4_randomized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace dmt {
+namespace hh {
+
+P4Randomized::P4Randomized(size_t num_sites, double eps, uint64_t seed,
+                           size_t copies)
+    : eps_(eps),
+      network_(num_sites),
+      rng_(seed),
+      weight_tracker_(&network_),
+      site_tally_(num_sites),
+      reported_(std::max<size_t>(copies, 1)) {
+  DMT_CHECK_GT(eps, 0.0);
+  DMT_CHECK_LE(eps, 1.0);
+}
+
+double P4Randomized::CurrentP() const {
+  const double what = weight_tracker_.EstimateAtSites();
+  if (what <= 0.0) return std::numeric_limits<double>::infinity();
+  const double m = static_cast<double>(network_.num_sites());
+  return 2.0 * std::sqrt(m) / (eps_ * what);
+}
+
+void P4Randomized::Process(size_t site, uint64_t element, double weight) {
+  DMT_CHECK_LT(site, site_tally_.size());
+  DMT_CHECK_GT(weight, 0.0);
+  weight_tracker_.Observe(site, weight);
+
+  double& tally = site_tally_[site][element];
+  tally += weight;
+
+  const double p = CurrentP();
+  const double send_prob =
+      std::isinf(p) ? 1.0 : 1.0 - std::exp(-p * weight);
+  // Each copy flips its own coin; every success is one message.
+  for (auto& copy : reported_) {
+    if (rng_.NextDouble() < send_prob) {
+      network_.RecordElement(site);
+      copy[element][site] = tally;
+    }
+  }
+}
+
+double P4Randomized::CopyEstimate(size_t copy, uint64_t element) const {
+  auto it = reported_[copy].find(element);
+  if (it == reported_[copy].end()) return 0.0;
+  const double p = CurrentP();
+  const double correction = std::isinf(p) ? 0.0 : 1.0 / p;
+  double sum = 0.0;
+  for (const auto& [site, tally] : it->second) {
+    sum += tally + correction;
+  }
+  return sum;
+}
+
+double P4Randomized::EstimateElementWeight(uint64_t element) const {
+  std::vector<double> estimates;
+  estimates.reserve(reported_.size());
+  for (size_t c = 0; c < reported_.size(); ++c) {
+    estimates.push_back(CopyEstimate(c, element));
+  }
+  // Median over the independent copies (a single copy: its estimate).
+  const size_t mid = estimates.size() / 2;
+  std::nth_element(estimates.begin(), estimates.begin() + mid,
+                   estimates.end());
+  return estimates[mid];
+}
+
+double P4Randomized::EstimateTotalWeight() const {
+  return weight_tracker_.coordinator_weight();
+}
+
+const stream::CommStats& P4Randomized::comm_stats() const {
+  return network_.stats();
+}
+
+std::vector<uint64_t> P4Randomized::TrackedElements() const {
+  std::unordered_set<uint64_t> seen;
+  for (const auto& copy : reported_) {
+    for (const auto& [e, sites] : copy) seen.insert(e);
+  }
+  return std::vector<uint64_t>(seen.begin(), seen.end());
+}
+
+}  // namespace hh
+}  // namespace dmt

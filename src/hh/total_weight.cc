@@ -1,0 +1,38 @@
+#include "hh/total_weight.h"
+
+#include "util/check.h"
+
+namespace dmt {
+namespace hh {
+
+TotalWeightTracker::TotalWeightTracker(stream::Network* network)
+    : network_(network), unreported_(network->num_sites(), 0.0) {}
+
+bool TotalWeightTracker::Observe(size_t site, double weight) {
+  DMT_CHECK_LT(site, unreported_.size());
+  DMT_CHECK_GE(weight, 0.0);
+  unreported_[site] += weight;
+
+  const double m = static_cast<double>(unreported_.size());
+  // Bootstrap: before any broadcast every observation is reported so the
+  // estimate becomes positive immediately.
+  const double report_threshold = broadcast_estimate_ / (2.0 * m);
+  if (unreported_[site] < report_threshold || unreported_[site] == 0.0) {
+    return false;
+  }
+  network_->RecordScalar(site);
+  coordinator_weight_ += unreported_[site];
+  unreported_[site] = 0.0;
+
+  if (broadcast_estimate_ == 0.0 ||
+      coordinator_weight_ >= 1.5 * broadcast_estimate_) {
+    broadcast_estimate_ = coordinator_weight_;
+    network_->RecordBroadcast();
+    network_->RecordRound();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hh
+}  // namespace dmt

@@ -1,0 +1,48 @@
+// Distributed 2-approximate total-weight tracking.
+//
+// Several protocols (P4, MP4) need every site to know an estimate W-hat
+// with W-hat <= W <= 2*W-hat at all times (w.h.p. / deterministically).
+// This helper implements the standard scheme: each site reports its
+// unreported weight once it exceeds a (1/2m) fraction of the current
+// estimate, and the coordinator re-broadcasts once its exact tally of
+// reported weight grows by a factor 1.5. Deterministic argument:
+//   W <= W_C + m * (W-hat / 2m) <= 1.5*W-hat + 0.5*W-hat = 2*W-hat.
+#ifndef DMT_HH_TOTAL_WEIGHT_H_
+#define DMT_HH_TOTAL_WEIGHT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/network.h"
+
+namespace dmt {
+namespace hh {
+
+/// Coordinator+sites total-weight tracker with counted messages.
+class TotalWeightTracker {
+ public:
+  /// `network` must outlive the tracker and is shared with the owning
+  /// protocol (messages are tallied there).
+  explicit TotalWeightTracker(stream::Network* network);
+
+  /// Site `site` observed `weight` more stream mass. Returns true if the
+  /// global estimate changed (i.e. a broadcast happened).
+  bool Observe(size_t site, double weight);
+
+  /// Site-visible estimate: W-hat <= W <= 2*W-hat once bootstrapped.
+  double EstimateAtSites() const { return broadcast_estimate_; }
+
+  /// Coordinator's exact tally of reported weight (a lower bound on W).
+  double coordinator_weight() const { return coordinator_weight_; }
+
+ private:
+  stream::Network* network_;
+  std::vector<double> unreported_;  // per-site weight since last report
+  double coordinator_weight_ = 0.0;
+  double broadcast_estimate_ = 0.0;
+};
+
+}  // namespace hh
+}  // namespace dmt
+
+#endif  // DMT_HH_TOTAL_WEIGHT_H_

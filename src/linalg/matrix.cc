@@ -1,0 +1,163 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "linalg/vec_ops.h"
+#include "util/check.h"
+
+namespace dmt {
+namespace linalg {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  for (const auto& r : rows) m.AppendRow(r);
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(size_t i) const {
+  DMT_CHECK_LT(i, rows_);
+  return std::vector<double>(Row(i), Row(i) + cols_);
+}
+
+std::vector<double> Matrix::ColVector(size_t j) const {
+  DMT_CHECK_LT(j, cols_);
+  std::vector<double> col(rows_);
+  for (size_t i = 0; i < rows_; ++i) col[i] = (*this)(i, j);
+  return col;
+}
+
+void Matrix::AppendRow(const std::vector<double>& row) {
+  AppendRow(row.data(), row.size());
+}
+
+void Matrix::AppendRow(const double* row, size_t n) {
+  if (rows_ == 0 && cols_ == 0) cols_ = n;
+  DMT_CHECK_EQ(n, cols_);
+  data_.insert(data_.end(), row, row + n);
+  ++rows_;
+}
+
+void Matrix::ClearRows() {
+  rows_ = 0;
+  data_.clear();
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  DMT_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams through both row-major operands.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = Row(i);
+    double* o = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.Row(k);
+      Axpy(aik, b, o, other.cols_);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* r = Row(i);
+    for (size_t j = 0; j < cols_; ++j) {
+      const double rj = r[j];
+      if (rj == 0.0) continue;
+      double* gj = g.Row(j);
+      // Only fill the upper triangle; mirror afterwards.
+      for (size_t k = j; k < cols_; ++k) gj[k] += rj * r[k];
+    }
+  }
+  for (size_t j = 0; j < cols_; ++j) {
+    for (size_t k = j + 1; k < cols_; ++k) g(k, j) = g(j, k);
+  }
+  return g;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& x) const {
+  DMT_CHECK_EQ(x.size(), cols_);
+  std::vector<double> y(rows_);
+  for (size_t i = 0; i < rows_; ++i) y[i] = Dot(Row(i), x.data(), cols_);
+  return y;
+}
+
+std::vector<double> Matrix::TransposedMultiplyVector(
+    const std::vector<double>& x) const {
+  DMT_CHECK_EQ(x.size(), rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) Axpy(x[i], Row(i), y.data(), cols_);
+  return y;
+}
+
+double Matrix::SquaredFrobeniusNorm() const {
+  return linalg::SquaredNorm(data_.data(), data_.size());
+}
+
+double Matrix::SquaredNormAlong(const std::vector<double>& x) const {
+  DMT_CHECK_EQ(x.size(), cols_);
+  double total = 0.0;
+  for (size_t i = 0; i < rows_; ++i) {
+    double d = Dot(Row(i), x.data(), cols_);
+    total += d * d;
+  }
+  return total;
+}
+
+void Matrix::Add(const Matrix& other) {
+  DMT_CHECK_EQ(rows_, other.rows_);
+  DMT_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Subtract(const Matrix& other) {
+  DMT_CHECK_EQ(rows_, other.rows_);
+  DMT_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::ScaleBy(double alpha) {
+  Scale(alpha, data_.data(), data_.size());
+}
+
+void Matrix::AddOuterProduct(double alpha, const std::vector<double>& v) {
+  DMT_CHECK_EQ(rows_, cols_);
+  DMT_CHECK_EQ(v.size(), rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double avi = alpha * v[i];
+    if (avi == 0.0) continue;
+    Axpy(avi, v.data(), Row(i), cols_);
+  }
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  DMT_CHECK_EQ(rows_, other.rows_);
+  DMT_CHECK_EQ(cols_, other.cols_);
+  double mx = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    mx = std::max(mx, std::fabs(data_[i] - other.data_[i]));
+  }
+  return mx;
+}
+
+}  // namespace linalg
+}  // namespace dmt

@@ -1,0 +1,101 @@
+// Row-major dense matrix.
+//
+// This is the only matrix representation in the library. Rows are the
+// streaming unit (each stream element is one row), so the layout is
+// row-major and rows are exposed as contiguous spans.
+#ifndef DMT_LINALG_MATRIX_H_
+#define DMT_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dmt {
+namespace linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols);
+
+  /// Builds from a row-major initializer (used heavily in tests).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Contiguous pointer to row i.
+  double* Row(size_t i) { return data_.data() + i * cols_; }
+  const double* Row(size_t i) const { return data_.data() + i * cols_; }
+
+  /// Copies row i out as a vector.
+  std::vector<double> RowVector(size_t i) const;
+
+  /// Copies column j out as a vector.
+  std::vector<double> ColVector(size_t j) const;
+
+  /// Appends a row (must have length cols(); sets cols on first append).
+  void AppendRow(const std::vector<double>& row);
+  void AppendRow(const double* row, size_t n);
+
+  /// Removes all rows but keeps the column count.
+  void ClearRows();
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this^T * this — the Gram matrix, computed in one pass (symmetric).
+  Matrix Gram() const;
+
+  /// Matrix-vector product y = this * x.
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  /// Transposed matrix-vector product y = this^T * x.
+  std::vector<double> TransposedMultiplyVector(
+      const std::vector<double>& x) const;
+
+  /// Squared Frobenius norm (sum of squared entries).
+  double SquaredFrobeniusNorm() const;
+
+  /// ‖this·x‖² for a vector x of length cols().
+  double SquaredNormAlong(const std::vector<double>& x) const;
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+
+  /// this -= other (same shape).
+  void Subtract(const Matrix& other);
+
+  /// this *= alpha.
+  void ScaleBy(double alpha);
+
+  /// Rank-1 symmetric update: this += alpha * v v^T (this must be square,
+  /// v.size() == rows()). The workhorse of incremental Gram maintenance.
+  void AddOuterProduct(double alpha, const std::vector<double>& v);
+
+  /// Max |a_ij - b_ij| over all entries (shape must match).
+  double MaxAbsDiff(const Matrix& other) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace linalg
+}  // namespace dmt
+
+#endif  // DMT_LINALG_MATRIX_H_

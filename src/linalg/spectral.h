@@ -1,0 +1,35 @@
+// Spectral helpers used by the evaluation metrics.
+#ifndef DMT_LINALG_SPECTRAL_H_
+#define DMT_LINALG_SPECTRAL_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace dmt {
+namespace linalg {
+
+/// Power iteration estimate of the spectral norm (largest |eigenvalue|) of
+/// a symmetric matrix. Cheaper than a full Jacobi decomposition when only
+/// the norm is needed and `iters` is small; used as a cross-check of the
+/// exact route in tests.
+double PowerIterationSpectralNorm(const Matrix& s, int iters, Rng* rng);
+
+/// Random unit vector of dimension d (uniform on the sphere).
+std::vector<double> RandomUnitVector(size_t d, Rng* rng);
+
+/// Random n x d matrix with iid N(0,1) entries.
+Matrix RandomGaussianMatrix(size_t n, size_t d, Rng* rng);
+
+/// Random d x d orthogonal matrix (QR of a Gaussian matrix via
+/// Gram-Schmidt; d is small in this library so the classic procedure with
+/// re-orthogonalization is fine).
+Matrix RandomOrthogonalMatrix(size_t d, Rng* rng);
+
+}  // namespace linalg
+}  // namespace dmt
+
+#endif  // DMT_LINALG_SPECTRAL_H_

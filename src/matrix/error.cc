@@ -1,0 +1,62 @@
+#include "matrix/error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/jacobi_eigen.h"
+#include "linalg/vec_ops.h"
+#include "util/check.h"
+
+namespace dmt {
+namespace matrix {
+
+CovarianceTracker::CovarianceTracker(size_t dim)
+    : dim_(dim), gram_(dim, dim) {
+  DMT_CHECK_GE(dim, 1u);
+}
+
+void CovarianceTracker::AddRow(const std::vector<double>& row) {
+  AddRow(row.data(), row.size());
+}
+
+void CovarianceTracker::AddRow(const double* row, size_t n) {
+  DMT_CHECK_EQ(n, dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    const double ri = row[i];
+    if (ri == 0.0) continue;
+    double* g = gram_.Row(i);
+    for (size_t j = 0; j < dim_; ++j) g[j] += ri * row[j];
+  }
+  sq_frob_ += linalg::SquaredNorm(row, n);
+  ++rows_seen_;
+}
+
+double CovarianceError(const linalg::Matrix& gram_a,
+                       const linalg::Matrix& gram_b, double frob_a_sq) {
+  DMT_CHECK_GT(frob_a_sq, 0.0);
+  linalg::Matrix diff = gram_a;
+  diff.Subtract(gram_b);
+  return linalg::SpectralNormSymmetric(diff) / frob_a_sq;
+}
+
+double CovarianceError(const CovarianceTracker& truth,
+                       const linalg::Matrix& gram_b) {
+  return CovarianceError(truth.gram(), gram_b, truth.squared_frobenius());
+}
+
+DirectionalErrorRange SignedCovarianceError(const linalg::Matrix& gram_a,
+                                            const linalg::Matrix& gram_b,
+                                            double frob_a_sq) {
+  DMT_CHECK_GT(frob_a_sq, 0.0);
+  linalg::Matrix diff = gram_a;
+  diff.Subtract(gram_b);
+  linalg::EigenDecomposition e = linalg::SymmetricEigen(diff);
+  DirectionalErrorRange out;
+  if (e.eigenvalues.empty()) return out;
+  out.max_error = e.eigenvalues.front() / frob_a_sq;
+  out.min_error = e.eigenvalues.back() / frob_a_sq;
+  return out;
+}
+
+}  // namespace matrix
+}  // namespace dmt

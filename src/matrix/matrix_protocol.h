@@ -1,0 +1,46 @@
+// Common interface for distributed matrix tracking protocols
+// (paper Section 5 and Appendix C).
+#ifndef DMT_MATRIX_MATRIX_PROTOCOL_H_
+#define DMT_MATRIX_MATRIX_PROTOCOL_H_
+
+#include <cstddef>
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "stream/comm_stats.h"
+
+namespace dmt {
+namespace matrix {
+
+/// A distributed matrix tracking protocol: rows arrive at sites; the
+/// coordinator continuously maintains a small approximation B of the
+/// stacked stream matrix A such that |‖Ax‖² − ‖Bx‖²| ≤ ε‖A‖²_F.
+class MatrixTrackingProtocol {
+ public:
+  virtual ~MatrixTrackingProtocol() = default;
+
+  /// Processes one row arriving at `site`.
+  virtual void ProcessRow(size_t site, const std::vector<double>& row) = 0;
+
+  /// The coordinator's current approximation B (rows stacked).
+  virtual linalg::Matrix CoordinatorSketch() const = 0;
+
+  /// B^T B. Default derives it from the sketch; protocols that maintain a
+  /// Gram matrix directly override this with the cheaper exact path.
+  virtual linalg::Matrix CoordinatorGram() const {
+    return CoordinatorSketch().Gram();
+  }
+
+  /// Communication counters so far.
+  virtual const stream::CommStats& comm_stats() const = 0;
+
+  /// Short display name (e.g. "P2").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace matrix
+}  // namespace dmt
+
+#endif  // DMT_MATRIX_MATRIX_PROTOCOL_H_

@@ -1,0 +1,65 @@
+#include "matrix/mp1_batched_fd.h"
+
+#include "linalg/vec_ops.h"
+#include "util/check.h"
+
+namespace dmt {
+namespace matrix {
+
+MP1BatchedFD::MP1BatchedFD(size_t num_sites, double eps)
+    : eps_(eps),
+      network_(num_sites),
+      coordinator_sketch_(sketch::FrequentDirections::WithEpsilon(eps / 2)) {
+  DMT_CHECK_GT(eps, 0.0);
+  DMT_CHECK_LE(eps, 1.0);
+  site_sketches_.reserve(num_sites);
+  for (size_t i = 0; i < num_sites; ++i) {
+    site_sketches_.push_back(
+        sketch::FrequentDirections::WithEpsilon(eps / 2));
+  }
+  site_frob_.assign(num_sites, 0.0);
+  site_fest_.assign(num_sites, 0.0);
+}
+
+void MP1BatchedFD::ProcessRow(size_t site, const std::vector<double>& row) {
+  DMT_CHECK_LT(site, site_sketches_.size());
+  site_sketches_[site].Append(row);
+  site_frob_[site] += linalg::SquaredNorm(row);
+
+  const double m = static_cast<double>(network_.num_sites());
+  const double tau = (eps_ / (2.0 * m)) * site_fest_[site];
+  if (site_frob_[site] >= tau) FlushSite(site);
+}
+
+void MP1BatchedFD::FlushSite(size_t site) {
+  sketch::FrequentDirections& sk = site_sketches_[site];
+  // Each sketch row travels as one vector message; the scalar F_i
+  // piggybacks on the batch (the paper's Algorithm 5.1 sends "(B_i, F_i)"
+  // as one payload of |B_i| rows). An empty sketch still costs the scalar.
+  for (size_t r = 0; r < sk.rows(); ++r) network_.RecordVector(site);
+  if (sk.rows() == 0) network_.RecordScalar(site);
+
+  coordinator_sketch_.Merge(sk);
+  coordinator_frob_ += site_frob_[site];
+  sk = sketch::FrequentDirections::WithEpsilon(eps_ / 2, sk.dim());
+  site_frob_[site] = 0.0;
+
+  if (broadcast_frob_ == 0.0 ||
+      coordinator_frob_ / broadcast_frob_ > 1.0 + eps_ / 2.0) {
+    broadcast_frob_ = coordinator_frob_;
+    network_.RecordBroadcast();
+    network_.RecordRound();
+    for (auto& f : site_fest_) f = broadcast_frob_;
+  }
+}
+
+linalg::Matrix MP1BatchedFD::CoordinatorSketch() const {
+  return coordinator_sketch_.sketch();
+}
+
+const stream::CommStats& MP1BatchedFD::comm_stats() const {
+  return network_.stats();
+}
+
+}  // namespace matrix
+}  // namespace dmt

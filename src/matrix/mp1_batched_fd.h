@@ -1,0 +1,55 @@
+// Matrix Protocol 1: batched Frequent Directions (paper Algorithms
+// 5.1 / 5.2) — the matrix analogue of heavy-hitter protocol P1.
+//
+// Each site runs FD with eps' = eps/2 and tracks F_i, the squared
+// Frobenius mass received since its last flush. When F_i reaches
+// (eps/2m) * F-hat the sketch is shipped (each sketch row is one vector
+// message) and the site resets. The coordinator merges received sketches
+// into one FD sketch (mergeability keeps the bound) and re-broadcasts
+// F-hat on (1 + eps/2)-factor growth.
+//
+// Guarantee: |‖Ax‖² − ‖Bx‖²| ≤ ε‖A‖²_F with O((m/ε²) log(βN)) rows of
+// communication.
+#ifndef DMT_MATRIX_MP1_BATCHED_FD_H_
+#define DMT_MATRIX_MP1_BATCHED_FD_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "matrix/matrix_protocol.h"
+#include "sketch/frequent_directions.h"
+#include "stream/network.h"
+
+namespace dmt {
+namespace matrix {
+
+/// Deterministic batched-FD protocol (MP1).
+class MP1BatchedFD : public MatrixTrackingProtocol {
+ public:
+  MP1BatchedFD(size_t num_sites, double eps);
+
+  void ProcessRow(size_t site, const std::vector<double>& row) override;
+  linalg::Matrix CoordinatorSketch() const override;
+  const stream::CommStats& comm_stats() const override;
+  std::string name() const override { return "P1"; }
+
+  double coordinator_frobenius() const { return coordinator_frob_; }
+
+ private:
+  void FlushSite(size_t site);
+
+  double eps_;
+  stream::Network network_;
+  std::vector<sketch::FrequentDirections> site_sketches_;
+  std::vector<double> site_frob_;   // F_i since last flush
+  std::vector<double> site_fest_;   // F-hat as known by each site
+  sketch::FrequentDirections coordinator_sketch_;
+  double coordinator_frob_ = 0.0;   // F_C
+  double broadcast_frob_ = 0.0;     // last broadcast F-hat
+};
+
+}  // namespace matrix
+}  // namespace dmt
+
+#endif  // DMT_MATRIX_MP1_BATCHED_FD_H_

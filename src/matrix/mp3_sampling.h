@@ -1,0 +1,100 @@
+// Matrix Protocol 3: squared-norm priority sampling (paper Section 5.3) —
+// the matrix analogue of heavy-hitter protocol P3.
+//
+// Rows are treated as weighted items with w = ‖a‖²; sites forward a row
+// when its priority w/Unif(0,1] reaches the global threshold, and the
+// coordinator runs the identical two-queue round structure as hh::P3.
+// At query time the sampled rows are stacked into B after rescaling: rows
+// with w < rho-hat are scaled up so their squared norm equals the
+// adjusted weight max(w, rho-hat) (rows above the threshold stay as-is).
+//
+// Guarantee (Theorem 5): |‖Ax‖² − ‖Bx‖²| ≤ ε‖A‖²_F w.p. >= 1 - 1/s using
+// O((m + s) log(βN/s)) messages, s = Θ((1/ε²) log(1/ε)).
+//
+// The with-replacement variant (Section 4.3.1 applied to rows) keeps s
+// independent single-row samplers; each sampled row is rescaled to squared
+// norm W-hat/s. It needs more communication for the same accuracy, which
+// Table 1 reproduces.
+#ifndef DMT_MATRIX_MP3_SAMPLING_H_
+#define DMT_MATRIX_MP3_SAMPLING_H_
+
+#include <cstddef>
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/matrix_protocol.h"
+#include "stream/network.h"
+#include "util/rng.h"
+
+namespace dmt {
+namespace matrix {
+
+/// Without-replacement row-sampling protocol (MP3 / "P3wor").
+class MP3SamplingWoR : public MatrixTrackingProtocol {
+ public:
+  /// `sample_size` = 0 derives s from eps (same formula as hh::P3).
+  MP3SamplingWoR(size_t num_sites, double eps, uint64_t seed,
+                 size_t sample_size = 0);
+
+  void ProcessRow(size_t site, const std::vector<double>& row) override;
+  linalg::Matrix CoordinatorSketch() const override;
+  const stream::CommStats& comm_stats() const override;
+  std::string name() const override { return "P3wor"; }
+
+  size_t sample_size() const { return s_; }
+  double threshold() const { return tau_; }
+
+ private:
+  struct SampledRow {
+    std::vector<double> row;
+    double weight = 0.0;   // squared norm at arrival
+    double priority = 0.0;
+  };
+
+  void EndRoundIfNeeded();
+
+  size_t s_;
+  stream::Network network_;
+  Rng rng_;
+  double tau_ = 1.0;
+  bool tau_ever_doubled_ = false;
+  std::vector<SampledRow> q_cur_;
+  std::vector<SampledRow> q_next_;
+};
+
+/// With-replacement row-sampling protocol (MP3wr / "P3wr").
+class MP3SamplingWR : public MatrixTrackingProtocol {
+ public:
+  MP3SamplingWR(size_t num_sites, double eps, uint64_t seed,
+                size_t sample_size = 0);
+
+  void ProcessRow(size_t site, const std::vector<double>& row) override;
+  linalg::Matrix CoordinatorSketch() const override;
+  const stream::CommStats& comm_stats() const override;
+  std::string name() const override { return "P3wr"; }
+
+  size_t sample_size() const { return s_; }
+
+ private:
+  struct Slot {
+    std::vector<double> row;
+    double weight = 0.0;
+    double top_priority = 0.0;
+    double second_priority = 0.0;
+  };
+
+  void EndRoundIfNeeded();
+
+  size_t s_;
+  stream::Network network_;
+  Rng rng_;
+  double tau_ = 1.0;
+  std::vector<Slot> slots_;
+  size_t slots_below_2tau_ = 0;
+};
+
+}  // namespace matrix
+}  // namespace dmt
+
+#endif  // DMT_MATRIX_MP3_SAMPLING_H_

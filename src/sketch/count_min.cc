@@ -1,0 +1,67 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dmt {
+namespace sketch {
+
+CountMin::CountMin(size_t depth, size_t width, uint64_t seed)
+    : depth_(depth), width_(width), cells_(depth * width, 0.0) {
+  DMT_CHECK_GE(depth, 1u);
+  DMT_CHECK_GE(width, 1u);
+  Rng rng(seed);
+  hash_a_.resize(depth_);
+  hash_b_.resize(depth_);
+  for (size_t r = 0; r < depth_; ++r) {
+    hash_a_[r] = rng.NextUint64() | 1ULL;  // multiplier must be odd
+    hash_b_[r] = rng.NextUint64();
+  }
+}
+
+CountMin CountMin::WithError(double eps, double delta, uint64_t seed) {
+  DMT_CHECK_GT(eps, 0.0);
+  DMT_CHECK_GT(delta, 0.0);
+  size_t width = static_cast<size_t>(std::ceil(M_E / eps));
+  size_t depth = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMin(std::max<size_t>(depth, 1), width, seed);
+}
+
+size_t CountMin::CellIndex(size_t row, uint64_t element) const {
+  // Multiply-shift universal hashing.
+  uint64_t h = hash_a_[row] * element + hash_b_[row];
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h % width_);
+}
+
+void CountMin::Update(uint64_t element, double weight) {
+  DMT_CHECK_GE(weight, 0.0);
+  total_weight_ += weight;
+  for (size_t r = 0; r < depth_; ++r) {
+    cells_[r * width_ + CellIndex(r, element)] += weight;
+  }
+}
+
+double CountMin::Estimate(uint64_t element) const {
+  double est = cells_[CellIndex(0, element)];
+  for (size_t r = 1; r < depth_; ++r) {
+    est = std::min(est, cells_[r * width_ + CellIndex(r, element)]);
+  }
+  return est;
+}
+
+void CountMin::Merge(const CountMin& other) {
+  DMT_CHECK_EQ(depth_, other.depth_);
+  DMT_CHECK_EQ(width_, other.width_);
+  DMT_CHECK_EQ(hash_a_[0], other.hash_a_[0]);  // same seed family
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_weight_ += other.total_weight_;
+}
+
+}  // namespace sketch
+}  // namespace dmt

@@ -1,0 +1,55 @@
+// Count-Min sketch [Cormode & Muthukrishnan 2005].
+//
+// Included as the randomized, hash-based contrast to Misra-Gries that the
+// paper mentions in Section 3; it is exercised by tests and the micro
+// benches but the protocols themselves use the deterministic summaries.
+#ifndef DMT_SKETCH_COUNT_MIN_H_
+#define DMT_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+
+#include <cstdint>
+#include <vector>
+
+namespace dmt {
+namespace sketch {
+
+/// Count-Min sketch with `depth` rows and `width` cells per row.
+///
+/// Guarantees (with prob. 1 - delta, depth = ceil(ln 1/delta)):
+///   W_e <= Estimate(e) <= W_e + (e/width) * W.
+class CountMin {
+ public:
+  CountMin(size_t depth, size_t width, uint64_t seed = 1);
+
+  /// Sketch sized for additive error eps*W with failure prob delta.
+  static CountMin WithError(double eps, double delta, uint64_t seed = 1);
+
+  /// Adds `weight` (>= 0) to element's cells.
+  void Update(uint64_t element, double weight);
+
+  /// Point query: min over the element's cells (never an underestimate).
+  double Estimate(uint64_t element) const;
+
+  /// Merges another sketch with identical shape and seed.
+  void Merge(const CountMin& other);
+
+  double total_weight() const { return total_weight_; }
+  size_t depth() const { return depth_; }
+  size_t width() const { return width_; }
+
+ private:
+  size_t CellIndex(size_t row, uint64_t element) const;
+
+  size_t depth_;
+  size_t width_;
+  std::vector<uint64_t> hash_a_;  // per-row multipliers (odd)
+  std::vector<uint64_t> hash_b_;
+  std::vector<double> cells_;  // depth_ * width_
+  double total_weight_ = 0.0;
+};
+
+}  // namespace sketch
+}  // namespace dmt
+
+#endif  // DMT_SKETCH_COUNT_MIN_H_

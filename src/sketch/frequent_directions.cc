@@ -1,0 +1,88 @@
+#include "sketch/frequent_directions.h"
+
+#include <cmath>
+
+#include "linalg/svd.h"
+#include "linalg/vec_ops.h"
+#include "util/check.h"
+
+namespace dmt {
+namespace sketch {
+
+FrequentDirections::FrequentDirections(size_t ell, size_t dim)
+    : ell_(ell), dim_(dim) {
+  DMT_CHECK_GE(ell, 1u);
+}
+
+FrequentDirections FrequentDirections::WithEpsilon(double eps, size_t dim) {
+  DMT_CHECK_GT(eps, 0.0);
+  return FrequentDirections(static_cast<size_t>(std::ceil(1.0 / eps)), dim);
+}
+
+void FrequentDirections::Append(const std::vector<double>& row) {
+  Append(row.data(), row.size());
+}
+
+void FrequentDirections::Append(const double* row, size_t n) {
+  if (dim_ == 0) dim_ = n;
+  DMT_CHECK_EQ(n, dim_);
+  buffer_.AppendRow(row, n);
+  stream_sq_frob_ += linalg::SquaredNorm(row, n);
+  ShrinkIfNeeded();
+}
+
+void FrequentDirections::AppendRows(const linalg::Matrix& rows) {
+  for (size_t i = 0; i < rows.rows(); ++i) Append(rows.Row(i), rows.cols());
+}
+
+void FrequentDirections::Merge(const FrequentDirections& other) {
+  DMT_CHECK_EQ(ell_, other.ell_);
+  if (other.dim_ == 0) return;
+  if (dim_ == 0) dim_ = other.dim_;
+  DMT_CHECK_EQ(dim_, other.dim_);
+  for (size_t i = 0; i < other.buffer_.rows(); ++i) {
+    buffer_.AppendRow(other.buffer_.Row(i), dim_);
+    ShrinkIfNeeded();
+  }
+  stream_sq_frob_ += other.stream_sq_frob_;
+  total_shrinkage_ += other.total_shrinkage_;
+}
+
+void FrequentDirections::ShrinkIfNeeded() {
+  if (buffer_.rows() >= 2 * ell_) Shrink();
+}
+
+void FrequentDirections::Compress() {
+  if (buffer_.rows() > ell_) Shrink();
+}
+
+void FrequentDirections::Shrink() {
+  ++shrink_count_;
+  linalg::RightSingular rs = linalg::RightSingularOf(buffer_);
+  // Cutoff: the (ell+1)-th largest squared singular value (0 if the sketch
+  // has rank <= ell already).
+  const size_t d = rs.squared_sigma.size();
+  const double delta = ell_ < d ? rs.squared_sigma[ell_] : 0.0;
+  total_shrinkage_ += delta;
+
+  linalg::Matrix next(0, 0);
+  for (size_t i = 0; i < d && i < ell_; ++i) {
+    const double lam = rs.squared_sigma[i] - delta;
+    if (lam <= 0.0) break;  // eigenvalues are sorted descending
+    const double scale = std::sqrt(lam);
+    std::vector<double> row(dim_);
+    for (size_t j = 0; j < dim_; ++j) row[j] = scale * rs.v(j, i);
+    next.AppendRow(row);
+  }
+  if (next.rows() == 0) next = linalg::Matrix(0, dim_);
+  buffer_ = std::move(next);
+}
+
+double FrequentDirections::SquaredNormAlong(
+    const std::vector<double>& x) const {
+  if (buffer_.rows() == 0) return 0.0;
+  return buffer_.SquaredNormAlong(x);
+}
+
+}  // namespace sketch
+}  // namespace dmt

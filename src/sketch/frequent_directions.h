@@ -1,0 +1,95 @@
+// Frequent Directions matrix sketch [Liberty, KDD 2013].
+//
+// Maintains a sketch B with at most `ell` rows such that for the stream
+// matrix A (rows appended so far) and every unit vector x:
+//
+//   0 <= ||Ax||^2 - ||Bx||^2 <= ||A||_F^2 / (ell + 1).
+//
+// Implementation notes:
+//  * We use the doubled-buffer ("fast FD") variant: rows accumulate in a
+//    buffer of capacity 2*ell; when full, one shrink keeps <= ell rows.
+//    Amortized update cost is O(d^2) per row for the Gram rank-1 updates
+//    plus O(d^3 / ell) for the eigendecompositions.
+//  * The shrink is performed at the Gram level: eigendecompose B^T B,
+//    subtract the (ell+1)-th eigenvalue from all eigenvalues (clamped at
+//    0), and rebuild rows as sqrt(lambda_i') * v_i^T. This is numerically
+//    equivalent to the SVD formulation in the paper.
+//  * Sketches are mergeable [Agarwal et al. 2012]: Merge() appends the
+//    other sketch's rows and lets the shrink machinery re-compress; errors
+//    add, so the combined sketch still satisfies the bound for A1 stacked
+//    on A2. Protocol MP1 relies on this at the coordinator.
+#ifndef DMT_SKETCH_FREQUENT_DIRECTIONS_H_
+#define DMT_SKETCH_FREQUENT_DIRECTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dmt {
+namespace sketch {
+
+/// Streaming Frequent Directions sketch.
+class FrequentDirections {
+ public:
+  /// `ell` >= 1: maximum rows retained after a shrink. `dim` may be 0 to
+  /// infer the dimension from the first appended row.
+  explicit FrequentDirections(size_t ell, size_t dim = 0);
+
+  /// Sketch sized so the directional error is <= eps * ||A||_F^2.
+  static FrequentDirections WithEpsilon(double eps, size_t dim = 0);
+
+  /// Appends one row of the stream matrix.
+  void Append(const std::vector<double>& row);
+  void Append(const double* row, size_t n);
+
+  /// Appends every row of `rows`.
+  void AppendRows(const linalg::Matrix& rows);
+
+  /// Merges another FD sketch (same ell) into this one.
+  void Merge(const FrequentDirections& other);
+
+  /// Forces compression down to <= ell rows (a query-time convenience; the
+  /// guarantee holds with or without the final shrink).
+  void Compress();
+
+  /// Current sketch rows (between ell and 2*ell rows; call Compress() first
+  /// if a hard ell-row budget is required).
+  const linalg::Matrix& sketch() const { return buffer_; }
+
+  /// ||B x||^2 for unit-vector queries.
+  double SquaredNormAlong(const std::vector<double>& x) const;
+
+  /// B^T B of the current sketch.
+  linalg::Matrix Gram() const { return buffer_.Gram(); }
+
+  /// Total squared Frobenius mass of all appended rows (i.e. ||A||_F^2).
+  double stream_squared_frobenius() const { return stream_sq_frob_; }
+
+  /// Sum of shrink cutoffs so far. The FD analysis guarantees that the
+  /// directional undercount is between 0 and this value, and that it is at
+  /// most stream_squared_frobenius() / (ell+1).
+  double total_shrinkage() const { return total_shrinkage_; }
+
+  size_t ell() const { return ell_; }
+  size_t dim() const { return dim_; }
+  size_t rows() const { return buffer_.rows(); }
+  /// Number of shrink (eigendecomposition) events so far.
+  size_t shrink_count() const { return shrink_count_; }
+
+ private:
+  void ShrinkIfNeeded();
+  void Shrink();
+
+  size_t ell_;
+  size_t dim_;
+  linalg::Matrix buffer_;  // up to 2*ell_ rows
+  double stream_sq_frob_ = 0.0;
+  double total_shrinkage_ = 0.0;
+  size_t shrink_count_ = 0;
+};
+
+}  // namespace sketch
+}  // namespace dmt
+
+#endif  // DMT_SKETCH_FREQUENT_DIRECTIONS_H_

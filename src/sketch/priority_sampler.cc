@@ -1,0 +1,121 @@
+#include "sketch/priority_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dmt {
+namespace sketch {
+namespace {
+
+// Min-heap on priority.
+bool HeapGreater(const PriorityEntry& a, const PriorityEntry& b) {
+  return a.priority > b.priority;
+}
+
+}  // namespace
+
+std::vector<PriorityEntry> AdjustedSample(std::vector<PriorityEntry> entries) {
+  if (entries.size() <= 1) return {};
+  auto min_it =
+      std::min_element(entries.begin(), entries.end(),
+                       [](const PriorityEntry& a, const PriorityEntry& b) {
+                         return a.priority < b.priority;
+                       });
+  const double tau = min_it->priority;
+  entries.erase(min_it);
+  for (auto& e : entries) e.weight = std::max(e.weight, tau);
+  return entries;
+}
+
+PrioritySamplerWoR::PrioritySamplerWoR(size_t s, uint64_t seed)
+    : s_(s), rng_(seed) {
+  DMT_CHECK_GE(s, 1u);
+  pool_.reserve(s + 2);
+}
+
+void PrioritySamplerWoR::Add(uint64_t element, double weight) {
+  DMT_CHECK_GT(weight, 0.0);
+  total_weight_ += weight;
+  PriorityEntry e{element, weight, weight / rng_.NextDoublePositive()};
+  if (pool_.size() < s_ + 1) {
+    pool_.push_back(e);
+    std::push_heap(pool_.begin(), pool_.end(), HeapGreater);
+    return;
+  }
+  if (e.priority <= pool_.front().priority) return;
+  std::pop_heap(pool_.begin(), pool_.end(), HeapGreater);
+  pool_.back() = e;
+  std::push_heap(pool_.begin(), pool_.end(), HeapGreater);
+}
+
+std::vector<PriorityEntry> PrioritySamplerWoR::Sample() const {
+  // Before the pool fills (fewer than s+1 items seen) the sample is exact:
+  // every item is present with its true weight.
+  if (pool_.size() <= s_) return pool_;
+  return AdjustedSample(pool_);
+}
+
+double PrioritySamplerWoR::EstimateTotalWeight() const {
+  double sum = 0.0;
+  for (const auto& e : Sample()) sum += e.weight;
+  return sum;
+}
+
+double PrioritySamplerWoR::EstimateElementWeight(uint64_t element) const {
+  double sum = 0.0;
+  for (const auto& e : Sample()) {
+    if (e.element == element) sum += e.weight;
+  }
+  return sum;
+}
+
+PrioritySamplerWR::PrioritySamplerWR(size_t s, uint64_t seed)
+    : s_(s), rng_(seed), slots_(s) {
+  DMT_CHECK_GE(s, 1u);
+}
+
+void PrioritySamplerWR::Add(uint64_t element, double weight) {
+  DMT_CHECK_GT(weight, 0.0);
+  total_weight_ += weight;
+  for (auto& slot : slots_) {
+    const double rho = weight / rng_.NextDoublePositive();
+    if (rho > slot.top.priority) {
+      slot.second_priority = slot.top.priority;
+      slot.top = PriorityEntry{element, weight, rho};
+    } else if (rho > slot.second_priority) {
+      slot.second_priority = rho;
+    }
+  }
+}
+
+double PrioritySamplerWR::EstimateTotalWeight() const {
+  // E[second-highest priority] = W for each independent sampler.
+  double sum = 0.0;
+  size_t live = 0;
+  for (const auto& slot : slots_) {
+    if (slot.top.priority > 0.0) {
+      sum += slot.second_priority;
+      ++live;
+    }
+  }
+  return live == 0 ? 0.0 : sum / static_cast<double>(live);
+}
+
+double PrioritySamplerWR::EstimateElementWeight(uint64_t element) const {
+  const double what = EstimateTotalWeight();
+  size_t hits = 0;
+  size_t live = 0;
+  for (const auto& slot : slots_) {
+    if (slot.top.priority > 0.0) {
+      ++live;
+      if (slot.top.element == element) ++hits;
+    }
+  }
+  if (live == 0) return 0.0;
+  return what * static_cast<double>(hits) / static_cast<double>(live);
+}
+
+}  // namespace sketch
+}  // namespace dmt

@@ -1,0 +1,102 @@
+// Priority sampling [Duffield, Lund, Thorup, JACM 2007].
+//
+// For a weighted stream, each item gets priority rho = w / u with
+// u ~ Unif(0,1]; the s items of highest priority form a without-replacement
+// sample. With tau = (s+1)-th highest priority, assigning each sampled item
+// the weight max(w, tau) makes every subset-sum estimate unbiased
+// (E[sum] = true sum) with near-optimal variance.
+//
+// These classes implement the centralized samplers; the distributed
+// protocols (hh::P3, matrix::MP3) reimplement the site/coordinator split
+// with rounds and thresholds but share the estimate construction here.
+#ifndef DMT_SKETCH_PRIORITY_SAMPLER_H_
+#define DMT_SKETCH_PRIORITY_SAMPLER_H_
+
+#include <cstddef>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dmt {
+namespace sketch {
+
+/// One sampled stream item.
+struct PriorityEntry {
+  uint64_t element = 0;  // item id (or row index for matrix sampling)
+  double weight = 0.0;   // original weight
+  double priority = 0.0;
+};
+
+/// Given sampled entries *including* the threshold item (the smallest
+/// priority in the pool, which acts as tau and is excluded from the
+/// estimate), returns per-entry adjusted weights max(w_i, tau) for the
+/// remaining entries, in the same order (threshold item removed).
+///
+/// `entries` must be non-empty; if it has a single entry the result is
+/// empty (no estimate is possible).
+std::vector<PriorityEntry> AdjustedSample(std::vector<PriorityEntry> entries);
+
+/// Centralized priority sampler without replacement, sample size `s`.
+class PrioritySamplerWoR {
+ public:
+  PrioritySamplerWoR(size_t s, uint64_t seed);
+
+  /// Processes one weighted item (weight > 0).
+  void Add(uint64_t element, double weight);
+
+  /// Sampled entries with adjusted weights (unbiased subset-sum weights).
+  std::vector<PriorityEntry> Sample() const;
+
+  /// Unbiased estimate of the total stream weight.
+  double EstimateTotalWeight() const;
+
+  /// Unbiased estimate of the total weight of `element`.
+  double EstimateElementWeight(uint64_t element) const;
+
+  size_t s() const { return s_; }
+  double true_total_weight() const { return total_weight_; }
+
+ private:
+  size_t s_;
+  Rng rng_;
+  // Pool of the s+1 highest-priority items seen (min at front via heap).
+  std::vector<PriorityEntry> pool_;
+  double total_weight_ = 0.0;
+};
+
+/// Centralized with-replacement sampler: `s` independent single-item
+/// priority samplers, as in Section 4.3.1 of the paper.
+class PrioritySamplerWR {
+ public:
+  PrioritySamplerWR(size_t s, uint64_t seed);
+
+  void Add(uint64_t element, double weight);
+
+  /// Estimated total weight: average of the per-sampler second-highest
+  /// priorities (each is an unbiased estimator of W).
+  double EstimateTotalWeight() const;
+
+  /// Estimate of element's weight: (#samplers whose winner is `element`)
+  /// / s * EstimateTotalWeight().
+  double EstimateElementWeight(uint64_t element) const;
+
+  size_t s() const { return s_; }
+
+ private:
+  struct Slot {
+    PriorityEntry top;      // highest priority item
+    double second_priority = 0.0;
+  };
+
+  size_t s_;
+  Rng rng_;
+  std::vector<Slot> slots_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace sketch
+}  // namespace dmt
+
+#endif  // DMT_SKETCH_PRIORITY_SAMPLER_H_

@@ -1,0 +1,76 @@
+#include "sketch/sliding_window_fd.h"
+
+#include "util/check.h"
+
+namespace dmt {
+namespace sketch {
+
+SlidingWindowFD::SlidingWindowFD(size_t window, size_t ell)
+    : window_(window), ell_(ell) {
+  DMT_CHECK_GE(window, 1u);
+  DMT_CHECK_GE(ell, 1u);
+}
+
+void SlidingWindowFD::Append(const std::vector<double>& row) {
+  ++rows_seen_;
+  Block b(FrequentDirections(ell_, row.size()));
+  b.sketch.Append(row);
+  b.rows = 1;
+  b.newest = rows_seen_;
+  blocks_.push_back(std::move(b));
+  MergeAndExpire();
+}
+
+void SlidingWindowFD::MergeAndExpire() {
+  // Merge from the back (newest, smallest blocks): whenever three blocks
+  // of the same size-class exist, merge the two oldest of them. One pass
+  // per append suffices because each append adds a single size-1 block.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Find three consecutive blocks of equal row count (the deque is
+    // ordered oldest->newest with sizes non-increasing then 1s at back).
+    for (size_t i = 0; i + 2 < blocks_.size(); ++i) {
+      if (blocks_[i].rows == blocks_[i + 1].rows &&
+          blocks_[i + 1].rows == blocks_[i + 2].rows) {
+        // Merge blocks i and i+1 (the two oldest of the triple).
+        blocks_[i].sketch.Merge(blocks_[i + 1].sketch);
+        blocks_[i].rows += blocks_[i + 1].rows;
+        blocks_[i].newest = blocks_[i + 1].newest;
+        blocks_.erase(blocks_.begin() + static_cast<long>(i) + 1);
+        merged = true;
+        break;
+      }
+    }
+  }
+  // Expire blocks that no longer intersect the window.
+  while (!blocks_.empty() &&
+         blocks_.front().newest + window_ <= rows_seen_) {
+    blocks_.pop_front();
+  }
+}
+
+linalg::Matrix SlidingWindowFD::Sketch(bool include_straddling) const {
+  linalg::Matrix out;
+  bool first = true;
+  for (const auto& b : blocks_) {
+    if (first) {
+      first = false;
+      // The oldest block may straddle the window boundary.
+      const bool straddles =
+          b.newest > b.rows &&
+          (b.newest - b.rows + 1) + window_ <= rows_seen_;
+      if (straddles && !include_straddling) continue;
+    }
+    const linalg::Matrix& sk = b.sketch.sketch();
+    for (size_t i = 0; i < sk.rows(); ++i) out.AppendRow(sk.Row(i), sk.cols());
+  }
+  return out;
+}
+
+linalg::Matrix SlidingWindowFD::Gram(bool include_straddling) const {
+  return Sketch(include_straddling).Gram();
+}
+
+}  // namespace sketch
+}  // namespace dmt

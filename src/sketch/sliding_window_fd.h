@@ -1,0 +1,89 @@
+// Sliding-window Frequent Directions.
+//
+// The paper's conclusion names the sliding-window model as an open
+// extension: track |‖A_W x‖² − ‖Bx‖²| ≤ ε‖A_W‖²_F where A_W holds only
+// the most recent `window` rows. This module implements the classic
+// logarithmic-merging (exponential histogram / DGIM-style) construction on
+// top of mergeable FD sketches:
+//
+//  * incoming rows start as size-1 blocks, each carrying an FD sketch;
+//  * when more than two blocks of one size exist, the two oldest merge
+//    into a block of twice the size (FD sketches are mergeable, so the
+//    merged sketch covers the union with the same ε);
+//  * blocks that fall entirely outside the window are dropped.
+//
+// The query sketch covers every row in the window except possibly those in
+// the single oldest (straddling) block, whose size is at most half the
+// window; this is the standard count-based sliding-window approximation:
+//
+//   rows covered ∈ [window − oldest_block_size, window].
+//
+// Space: O((1/ε) log(window)) sketch rows.
+#ifndef DMT_SKETCH_SLIDING_WINDOW_FD_H_
+#define DMT_SKETCH_SLIDING_WINDOW_FD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "sketch/frequent_directions.h"
+
+namespace dmt {
+namespace sketch {
+
+/// Count-based sliding-window Frequent Directions sketch.
+class SlidingWindowFD {
+ public:
+  /// Tracks (approximately) the last `window` rows with per-block FD
+  /// sketches of `ell` rows each.
+  SlidingWindowFD(size_t window, size_t ell);
+
+  /// Appends one row of the stream.
+  void Append(const std::vector<double>& row);
+
+  /// Sketch covering the current window (all live blocks merged).
+  /// The straddling block is included, so the covered range is
+  /// [window, window + oldest_block_size); callers preferring the
+  /// conservative side can pass include_straddling = false.
+  linalg::Matrix Sketch(bool include_straddling = true) const;
+
+  /// B^T B of Sketch().
+  linalg::Matrix Gram(bool include_straddling = true) const;
+
+  /// Rows appended so far (stream position).
+  uint64_t rows_seen() const { return rows_seen_; }
+
+  /// Number of live blocks (O(log window)).
+  size_t block_count() const { return blocks_.size(); }
+
+  /// Rows covered by the oldest live block (the approximation slack).
+  size_t oldest_block_rows() const {
+    return blocks_.empty() ? 0 : blocks_.front().rows;
+  }
+
+  size_t window() const { return window_; }
+  size_t ell() const { return ell_; }
+
+ private:
+  struct Block {
+    explicit Block(FrequentDirections s) : sketch(std::move(s)) {}
+    FrequentDirections sketch;
+    size_t rows = 0;        // stream rows covered
+    uint64_t newest = 0;    // stream index of the newest covered row
+  };
+
+  void MergeAndExpire();
+
+  size_t window_;
+  size_t ell_;
+  uint64_t rows_seen_ = 0;
+  // Oldest block at the front; sizes (roughly) decrease front to back.
+  std::deque<Block> blocks_;
+};
+
+}  // namespace sketch
+}  // namespace dmt
+
+#endif  // DMT_SKETCH_SLIDING_WINDOW_FD_H_

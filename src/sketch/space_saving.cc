@@ -1,0 +1,61 @@
+#include "sketch/space_saving.h"
+
+#include "util/check.h"
+
+namespace dmt {
+namespace sketch {
+
+SpaceSaving::SpaceSaving(size_t k) : k_(k) { DMT_CHECK_GE(k, 1u); }
+
+void SpaceSaving::Update(uint64_t element, double weight) {
+  DMT_CHECK_GE(weight, 0.0);
+  if (weight == 0.0) return;
+  total_weight_ += weight;
+
+  auto it = counts_.find(element);
+  if (it != counts_.end()) {
+    ordered_.erase({it->second.count, element});
+    it->second.count += weight;
+    ordered_.insert({it->second.count, element});
+    return;
+  }
+  if (counts_.size() < k_) {
+    counts_[element] = Entry{weight, 0.0};
+    ordered_.insert({weight, element});
+    return;
+  }
+  // Steal the slot of the minimum-count element; the evicted count becomes
+  // the new element's overestimation error.
+  auto min_it = ordered_.begin();
+  const double min_count = min_it->first;
+  const uint64_t victim = min_it->second;
+  ordered_.erase(min_it);
+  counts_.erase(victim);
+  counts_[element] = Entry{min_count + weight, min_count};
+  ordered_.insert({min_count + weight, element});
+}
+
+double SpaceSaving::Estimate(uint64_t element) const {
+  auto it = counts_.find(element);
+  if (it != counts_.end()) return it->second.count;
+  // Untracked element: its weight is at most the minimum counter.
+  return ordered_.empty() ? 0.0 : ordered_.begin()->first;
+}
+
+double SpaceSaving::ErrorBound(uint64_t element) const {
+  auto it = counts_.find(element);
+  if (it != counts_.end()) return it->second.error;
+  return ordered_.empty() ? 0.0 : ordered_.begin()->first;
+}
+
+std::vector<std::pair<uint64_t, double>> SpaceSaving::Items() const {
+  std::vector<std::pair<uint64_t, double>> out;
+  out.reserve(counts_.size());
+  for (auto it = ordered_.rbegin(); it != ordered_.rend(); ++it) {
+    out.emplace_back(it->second, it->first);
+  }
+  return out;
+}
+
+}  // namespace sketch
+}  // namespace dmt

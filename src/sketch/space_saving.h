@@ -1,0 +1,65 @@
+// Weighted SpaceSaving summary [Metwally et al., TODS 2006].
+//
+// Unlike Misra-Gries (which undercounts), SpaceSaving overcounts:
+//
+//   0 <= Estimate(e) - W_e <= W / k.
+//
+// The paper suggests it to cap per-site memory in protocols P2 and P4; we
+// provide it as a drop-in alternative summary and verify both bounds in
+// tests.
+#ifndef DMT_SKETCH_SPACE_SAVING_H_
+#define DMT_SKETCH_SPACE_SAVING_H_
+
+#include <cstddef>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dmt {
+namespace sketch {
+
+/// Weighted SpaceSaving with `k` monitored elements.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(size_t k);
+
+  /// Processes one (element, weight) pair; weight must be >= 0.
+  void Update(uint64_t element, double weight);
+
+  /// Upper-bound estimate of element's weight. For untracked elements this
+  /// is the current minimum counter (the standard SpaceSaving bound).
+  double Estimate(uint64_t element) const;
+
+  /// Overestimation bound for `element` (its epsilon field), 0 if exact.
+  double ErrorBound(uint64_t element) const;
+
+  /// All tracked (element, estimate) pairs, sorted by estimate descending.
+  std::vector<std::pair<uint64_t, double>> Items() const;
+
+  double total_weight() const { return total_weight_; }
+  size_t k() const { return k_; }
+  size_t size() const { return counts_.size(); }
+
+ private:
+  struct Entry {
+    double count = 0.0;
+    double error = 0.0;  // overestimate introduced when the slot was stolen
+  };
+
+  // Ordered multiset of (count, element) supports O(log k) min extraction.
+  using Ordered = std::set<std::pair<double, uint64_t>>;
+
+  size_t k_;
+  std::unordered_map<uint64_t, Entry> counts_;
+  Ordered ordered_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace sketch
+}  // namespace dmt
+
+#endif  // DMT_SKETCH_SPACE_SAVING_H_

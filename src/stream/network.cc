@@ -1,0 +1,39 @@
+#include "stream/network.h"
+
+#include "util/check.h"
+
+namespace dmt {
+namespace stream {
+
+Network::Network(size_t num_sites)
+    : num_sites_(num_sites), per_site_up_(num_sites, 0) {
+  DMT_CHECK_GE(num_sites, 1u);
+}
+
+void Network::RecordScalar(size_t site) {
+  DMT_CHECK_LT(site, num_sites_);
+  ++stats_.scalar_up;
+  ++per_site_up_[site];
+}
+
+void Network::RecordElement(size_t site) {
+  DMT_CHECK_LT(site, num_sites_);
+  ++stats_.element_up;
+  ++per_site_up_[site];
+}
+
+void Network::RecordVector(size_t site) {
+  DMT_CHECK_LT(site, num_sites_);
+  ++stats_.vector_up;
+  ++per_site_up_[site];
+}
+
+void Network::RecordBroadcast() {
+  ++stats_.broadcast_events;
+  stats_.broadcast_msgs += num_sites_;
+}
+
+void Network::RecordRound() { ++stats_.rounds; }
+
+}  // namespace stream
+}  // namespace dmt

@@ -1,0 +1,51 @@
+// Simulated star network: m sites, one coordinator, counted channels.
+//
+// The simulator is synchronous and in-process (the paper's evaluation also
+// only counts messages, never wall-clock network time). Protocols call the
+// Record* methods at each send; delivery itself is a direct method call
+// inside the protocol implementation.
+#ifndef DMT_STREAM_NETWORK_H_
+#define DMT_STREAM_NETWORK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/comm_stats.h"
+
+namespace dmt {
+namespace stream {
+
+/// Message tally for one protocol instance.
+class Network {
+ public:
+  /// `num_sites` is m in the paper.
+  explicit Network(size_t num_sites);
+
+  size_t num_sites() const { return num_sites_; }
+
+  /// Site -> coordinator sends.
+  void RecordScalar(size_t site);
+  void RecordElement(size_t site);
+  void RecordVector(size_t site);
+
+  /// Coordinator -> all-sites broadcast (costs num_sites messages).
+  void RecordBroadcast();
+
+  /// Marks a protocol round/epoch boundary (bookkeeping only).
+  void RecordRound();
+
+  const CommStats& stats() const { return stats_; }
+
+  /// Per-site upstream message counts (diagnostics; index = site id).
+  const std::vector<uint64_t>& per_site_up() const { return per_site_up_; }
+
+ private:
+  size_t num_sites_;
+  CommStats stats_;
+  std::vector<uint64_t> per_site_up_;
+};
+
+}  // namespace stream
+}  // namespace dmt
+
+#endif  // DMT_STREAM_NETWORK_H_

@@ -1,0 +1,27 @@
+#include "stream/router.h"
+
+#include "util/check.h"
+
+namespace dmt {
+namespace stream {
+
+Router::Router(size_t num_sites, RoutingPolicy policy, uint64_t seed)
+    : num_sites_(num_sites), policy_(policy), rng_(seed) {
+  DMT_CHECK_GE(num_sites, 1u);
+}
+
+size_t Router::NextSite() {
+  switch (policy_) {
+    case RoutingPolicy::kRoundRobin:
+      return counter_++ % num_sites_;
+    case RoutingPolicy::kSkewed:
+      if (rng_.NextDouble() < 0.5) return 0;
+      return static_cast<size_t>(rng_.NextBelow(num_sites_));
+    case RoutingPolicy::kUniform:
+    default:
+      return static_cast<size_t>(rng_.NextBelow(num_sites_));
+  }
+}
+
+}  // namespace stream
+}  // namespace dmt

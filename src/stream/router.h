@@ -1,0 +1,46 @@
+// Site assignment for arriving stream elements.
+//
+// The distributed streaming model assumes each element appears at exactly
+// one of the m sites. The paper does not fix an assignment, so the
+// experiments use uniform-random assignment; round-robin and a skewed
+// (hot-site) assignment are provided to test protocol robustness to load
+// imbalance.
+#ifndef DMT_STREAM_ROUTER_H_
+#define DMT_STREAM_ROUTER_H_
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace dmt {
+namespace stream {
+
+/// Assignment policy for stream elements to sites.
+enum class RoutingPolicy {
+  kUniform,    ///< each element lands at a uniformly random site
+  kRoundRobin, ///< element i goes to site i mod m
+  kSkewed,     ///< half of all elements land at site 0, rest uniform
+};
+
+/// Stateful element->site router.
+class Router {
+ public:
+  Router(size_t num_sites, RoutingPolicy policy, uint64_t seed);
+
+  /// Site for the next stream element.
+  size_t NextSite();
+
+  size_t num_sites() const { return num_sites_; }
+  RoutingPolicy policy() const { return policy_; }
+
+ private:
+  size_t num_sites_;
+  RoutingPolicy policy_;
+  Rng rng_;
+  size_t counter_ = 0;
+};
+
+}  // namespace stream
+}  // namespace dmt
+
+#endif  // DMT_STREAM_ROUTER_H_

@@ -1,0 +1,35 @@
+// Invariant-checking macros (Google-style: no exceptions; violations abort).
+#ifndef DMT_UTIL_CHECK_H_
+#define DMT_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmt {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "DMT_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dmt
+
+/// Aborts with a diagnostic if `cond` is false. Active in all build types:
+/// these guard algorithmic invariants, not debug-only assumptions.
+#define DMT_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) ::dmt::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define DMT_CHECK_OP(a, op, b) DMT_CHECK((a)op(b))
+#define DMT_CHECK_EQ(a, b) DMT_CHECK((a) == (b))
+#define DMT_CHECK_NE(a, b) DMT_CHECK((a) != (b))
+#define DMT_CHECK_LT(a, b) DMT_CHECK((a) < (b))
+#define DMT_CHECK_LE(a, b) DMT_CHECK((a) <= (b))
+#define DMT_CHECK_GT(a, b) DMT_CHECK((a) > (b))
+#define DMT_CHECK_GE(a, b) DMT_CHECK((a) >= (b))
+
+#endif  // DMT_UTIL_CHECK_H_

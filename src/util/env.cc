@@ -1,0 +1,41 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace dmt {
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+Scale GetScale() {
+  std::string s = GetEnvString("DMT_SCALE", "default");
+  if (s == "small") return Scale::kSmall;
+  if (s == "paper" || s == "full") return Scale::kPaper;
+  return Scale::kDefault;
+}
+
+int64_t ScaledN(int64_t paper_n, int64_t default_div, int64_t small_div) {
+  switch (GetScale()) {
+    case Scale::kPaper:
+      return paper_n;
+    case Scale::kSmall:
+      return paper_n / small_div;
+    case Scale::kDefault:
+    default:
+      return paper_n / default_div;
+  }
+}
+
+}  // namespace dmt

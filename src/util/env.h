@@ -1,0 +1,31 @@
+// Environment-variable helpers used by the benchmark harnesses to scale
+// workloads (e.g. DMT_SCALE=small|default|paper) without recompiling.
+#ifndef DMT_UTIL_ENV_H_
+#define DMT_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dmt {
+
+/// Returns the value of env var `name`, or `fallback` if unset/empty.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+/// Returns env var `name` parsed as int64, or `fallback` on absence/parse
+/// failure.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Workload scale selected via DMT_SCALE: "small" (CI-fast), "default",
+/// or "paper" (full published sizes).
+enum class Scale { kSmall, kDefault, kPaper };
+
+/// Reads DMT_SCALE; unknown values map to kDefault.
+Scale GetScale();
+
+/// Multiplies `paper_n` down according to the current scale:
+/// paper -> 1x, default -> `default_div`, small -> `small_div`.
+int64_t ScaledN(int64_t paper_n, int64_t default_div, int64_t small_div);
+
+}  // namespace dmt
+
+#endif  // DMT_UTIL_ENV_H_

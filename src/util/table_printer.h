@@ -1,0 +1,42 @@
+// Aligned text tables for benchmark harness output.
+//
+// The figure/table benches print series in the same shape the paper reports;
+// this keeps that output readable and diffable.
+#ifndef DMT_UTIL_TABLE_PRINTER_H_
+#define DMT_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace dmt {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string (trailing newline included).
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double compactly (scientific for very small/large values).
+  static std::string FormatDouble(double v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,30 @@
+// Minimal wall-clock timer for experiment harnesses.
+#ifndef DMT_UTIL_TIMER_H_
+#define DMT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dmt {
+
+/// Measures elapsed wall-clock time since construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds as a double.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_UTIL_TIMER_H_

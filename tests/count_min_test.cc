@@ -1,0 +1,84 @@
+#include "sketch/count_min.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dmt {
+namespace sketch {
+namespace {
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMin cm(4, 64, 1);
+  Rng rng(1);
+  std::map<uint64_t, double> truth;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t e = rng.NextBelow(500);
+    double w = 1.0 + rng.NextDouble();
+    truth[e] += w;
+    cm.Update(e, w);
+  }
+  for (const auto& [e, w] : truth) {
+    EXPECT_GE(cm.Estimate(e), w - 1e-9);
+  }
+}
+
+TEST(CountMinTest, ErrorWithinTheoreticalBoundForMostElements) {
+  const double eps = 0.02;
+  const double delta = 0.01;
+  CountMin cm = CountMin::WithError(eps, delta, 7);
+  Rng rng(2);
+  std::map<uint64_t, double> truth;
+  double total = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t e = rng.NextBelow(2000);
+    double w = 1.0;
+    truth[e] += w;
+    total += w;
+    cm.Update(e, w);
+  }
+  int violations = 0;
+  for (const auto& [e, w] : truth) {
+    if (cm.Estimate(e) > w + eps * total) ++violations;
+  }
+  // Allow a small number of failures (the guarantee is per-element with
+  // probability 1 - delta).
+  EXPECT_LE(violations, static_cast<int>(truth.size() * 5 * delta));
+}
+
+TEST(CountMinTest, UnseenElementCanBeNonZeroButBounded) {
+  CountMin cm(4, 1024, 3);
+  for (int i = 0; i < 100; ++i) cm.Update(i, 1.0);
+  EXPECT_GE(cm.Estimate(100000), 0.0);
+  EXPECT_LE(cm.Estimate(100000), 100.0);
+}
+
+TEST(CountMinTest, MergeAddsSketches) {
+  CountMin a(3, 128, 9);
+  CountMin b(3, 128, 9);
+  a.Update(5, 2.0);
+  b.Update(5, 3.0);
+  b.Update(6, 1.0);
+  a.Merge(b);
+  EXPECT_GE(a.Estimate(5), 5.0 - 1e-9);
+  EXPECT_GE(a.Estimate(6), 1.0 - 1e-9);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 6.0);
+}
+
+TEST(CountMinDeathTest, MergeShapeMismatchAborts) {
+  CountMin a(3, 128, 9);
+  CountMin b(3, 64, 9);
+  EXPECT_DEATH(a.Merge(b), "DMT_CHECK");
+}
+
+TEST(CountMinTest, WithErrorShapesSketch) {
+  CountMin cm = CountMin::WithError(0.01, 0.05, 1);
+  EXPECT_GE(cm.width(), 271u);  // e / 0.01
+  EXPECT_GE(cm.depth(), 3u);    // ln(20)
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace dmt

@@ -1,0 +1,64 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void WriteFile(const std::string& content) {
+    path_ = ::testing::TempDir() + "/dmt_csv_test.csv";
+    std::ofstream out(path_);
+    out << content;
+  }
+  std::string path_;
+};
+
+TEST_F(CsvTest, LoadsNumericRows) {
+  WriteFile("1,2,3\n4,5,6\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST_F(CsvTest, SkipsHeaderAndMalformedRows) {
+  WriteFile("a,b,c\n1,2,3\n4,x,6\n7,8,9\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST_F(CsvTest, SkipsRowsWithWrongColumnCount) {
+  WriteFile("1,2\n3,4,5\n6,7\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST_F(CsvTest, MaxRowsLimit) {
+  WriteFile("1\n2\n3\n4\n");
+  linalg::Matrix m = LoadCsv(path_, ',', 2);
+  EXPECT_EQ(m.rows(), 2u);
+}
+
+TEST_F(CsvTest, AlternateDelimiter) {
+  WriteFile("1;2\n3;4\n");
+  linalg::Matrix m = LoadCsv(path_, ';');
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST(CsvMissingFileTest, ReturnsEmptyMatrix) {
+  linalg::Matrix m = LoadCsv("/nonexistent/definitely_missing.csv");
+  EXPECT_TRUE(m.empty());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dmt

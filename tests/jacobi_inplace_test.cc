@@ -1,0 +1,132 @@
+// Tests for the warm-start / targeted in-place Jacobi diagonalization that
+// protocol MP2 builds on.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/jacobi_eigen.h"
+#include "linalg/spectral.h"
+#include "linalg/vec_ops.h"
+#include "util/rng.h"
+
+namespace dmt {
+namespace linalg {
+namespace {
+
+// Reconstructs V * G * V^T (the matrix the pair (G, V) represents).
+Matrix Represented(const Matrix& g, const Matrix& v) {
+  return v.Multiply(g).Multiply(v.Transposed());
+}
+
+std::vector<double> SortedDiagonal(const Matrix& g) {
+  std::vector<double> d(g.rows());
+  for (size_t i = 0; i < g.rows(); ++i) d[i] = g(i, i);
+  std::sort(d.begin(), d.end(), std::greater<double>());
+  return d;
+}
+
+TEST(JacobiInPlaceTest, FullDiagonalizationMatchesSymmetricEigen) {
+  Rng rng(1);
+  Matrix a = RandomGaussianMatrix(30, 8, &rng);
+  Matrix g = a.Gram();
+  Matrix v = Matrix::Identity(8);
+  Matrix original = g;
+  JacobiDiagonalizeInPlace(&g, &v);
+
+  EigenDecomposition e = SymmetricEigen(original);
+  std::vector<double> got = SortedDiagonal(g);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(got[i], e.eigenvalues[i], 1e-9 * (1.0 + e.eigenvalues[0]));
+  }
+}
+
+TEST(JacobiInPlaceTest, RepresentationInvariant) {
+  Rng rng(2);
+  Matrix a = RandomGaussianMatrix(20, 6, &rng);
+  Matrix g = a.Gram();
+  Matrix original = g;
+  Matrix v = Matrix::Identity(6);
+  JacobiDiagonalizeInPlace(&g, &v);
+  // V G V^T must equal the original matrix: rotations lose nothing.
+  EXPECT_LT(Represented(g, v).MaxAbsDiff(original),
+            1e-9 * original.SquaredFrobeniusNorm());
+}
+
+TEST(JacobiInPlaceTest, WarmStartAppliesFewRotations) {
+  Rng rng(3);
+  Matrix a = RandomGaussianMatrix(100, 10, &rng);
+  Matrix g = a.Gram();
+  Matrix v = Matrix::Identity(10);
+  size_t cold = JacobiDiagonalizeInPlace(&g, &v);
+  EXPECT_GT(cold, 0u);
+  // Perturb with one rank-1 row (in the rotated basis) and re-diagonalize:
+  // the warm pass must need far fewer rotations than the cold one.
+  std::vector<double> row = RandomUnitVector(10, &rng);
+  std::vector<double> c = v.TransposedMultiplyVector(row);
+  g.AddOuterProduct(1.0, c);
+  size_t warm = JacobiDiagonalizeInPlace(&g, &v);
+  EXPECT_LT(warm, cold / 2);
+}
+
+TEST(JacobiInPlaceTest, TargetedSkipStillExposesLargeEigenvalues) {
+  Rng rng(4);
+  // Matrix with a few dominant directions and a noisy tail.
+  Matrix a(0, 12);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(12);
+    for (size_t j = 0; j < 12; ++j) {
+      row[j] = rng.NextGaussian() * (j < 3 ? 2.0 : 0.05);
+    }
+    a.AppendRow(row);
+  }
+  Matrix g = a.Gram();
+  Matrix original = g;
+  EigenDecomposition exact = SymmetricEigen(original);
+
+  const double cutoff = exact.eigenvalues[2] * 0.5;  // below the top 3
+  Matrix v = Matrix::Identity(12);
+  JacobiDiagonalizeInPlace(&g, &v, 1e-14, 60, cutoff);
+
+  // Every eigenvalue >= cutoff must appear on the diagonal.
+  std::vector<double> got = SortedDiagonal(g);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(got[i], exact.eigenvalues[i],
+                1e-6 * exact.eigenvalues[0])
+        << "eigenvalue " << i;
+  }
+  // And the representation is still exact (skipping loses nothing).
+  EXPECT_LT(Represented(g, v).MaxAbsDiff(original),
+            1e-9 * original.SquaredFrobeniusNorm());
+}
+
+TEST(JacobiInPlaceTest, TargetedSkipCheaperThanFull) {
+  Rng rng(5);
+  Matrix a(0, 16);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> row(16);
+    for (size_t j = 0; j < 16; ++j) {
+      row[j] = rng.NextGaussian() * (j < 2 ? 3.0 : 0.02);
+    }
+    a.AppendRow(row);
+  }
+  Matrix g1 = a.Gram();
+  Matrix g2 = g1;
+  Matrix v1 = Matrix::Identity(16);
+  Matrix v2 = Matrix::Identity(16);
+  size_t full = JacobiDiagonalizeInPlace(&g1, &v1);
+  EigenDecomposition exact = SymmetricEigen(a.Gram());
+  size_t targeted = JacobiDiagonalizeInPlace(&g2, &v2, 1e-14, 60,
+                                             exact.eigenvalues[1]);
+  EXPECT_LT(targeted, full);
+}
+
+TEST(JacobiInPlaceDeathTest, ShapeMismatchAborts) {
+  Matrix g(3, 3);
+  Matrix v = Matrix::Identity(4);
+  EXPECT_DEATH(JacobiDiagonalizeInPlace(&g, &v), "DMT_CHECK");
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dmt

@@ -1,0 +1,76 @@
+#include "matrix/error.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "linalg/spectral.h"
+#include "util/rng.h"
+
+namespace dmt {
+namespace matrix {
+namespace {
+
+using linalg::Matrix;
+
+TEST(CovarianceTrackerTest, MatchesDirectGram) {
+  Rng rng(1);
+  Matrix a = linalg::RandomGaussianMatrix(50, 6, &rng);
+  CovarianceTracker t(6);
+  for (size_t i = 0; i < a.rows(); ++i) t.AddRow(a.Row(i), a.cols());
+  EXPECT_LT(t.gram().MaxAbsDiff(a.Gram()), 1e-10);
+  EXPECT_NEAR(t.squared_frobenius(), a.SquaredFrobeniusNorm(), 1e-9);
+  EXPECT_EQ(t.rows_seen(), 50u);
+}
+
+TEST(CovarianceErrorTest, ZeroForIdenticalGrams) {
+  Rng rng(2);
+  Matrix a = linalg::RandomGaussianMatrix(30, 5, &rng);
+  EXPECT_NEAR(CovarianceError(a.Gram(), a.Gram(), a.SquaredFrobeniusNorm()),
+              0.0, 1e-12);
+}
+
+TEST(CovarianceErrorTest, KnownDifference) {
+  // gram_a = diag(4, 1), gram_b = diag(1, 1): ||diff||_2 = 3, frob = 5.
+  Matrix ga = Matrix::FromRows({{4, 0}, {0, 1}});
+  Matrix gb = Matrix::FromRows({{1, 0}, {0, 1}});
+  EXPECT_NEAR(CovarianceError(ga, gb, 5.0), 0.6, 1e-12);
+}
+
+TEST(CovarianceErrorTest, MatchesMaxDirectionalDeviation) {
+  Rng rng(3);
+  Matrix a = linalg::RandomGaussianMatrix(40, 6, &rng);
+  Matrix b = linalg::RandomGaussianMatrix(20, 6, &rng);
+  const double err =
+      CovarianceError(a.Gram(), b.Gram(), a.SquaredFrobeniusNorm());
+  // Exhaustive-ish check: no random direction can exceed the spectral err.
+  for (int t = 0; t < 200; ++t) {
+    std::vector<double> x = linalg::RandomUnitVector(6, &rng);
+    const double da = a.SquaredNormAlong(x);
+    const double db = b.SquaredNormAlong(x);
+    EXPECT_LE(std::fabs(da - db) / a.SquaredFrobeniusNorm(), err + 1e-10);
+  }
+}
+
+TEST(SignedCovarianceErrorTest, OneSidedUndercountDetected) {
+  // b = a with one row removed: ‖Bx‖² <= ‖Ax‖² everywhere.
+  Rng rng(4);
+  Matrix a = linalg::RandomGaussianMatrix(30, 5, &rng);
+  Matrix b(0, 5);
+  for (size_t i = 0; i + 1 < a.rows(); ++i) b.AppendRow(a.Row(i), 5);
+  DirectionalErrorRange r =
+      SignedCovarianceError(a.Gram(), b.Gram(), a.SquaredFrobeniusNorm());
+  EXPECT_GE(r.min_error, -1e-12);  // B never exceeds A
+  EXPECT_GT(r.max_error, 0.0);
+}
+
+TEST(SignedCovarianceErrorTest, OverestimateShowsNegativeMin) {
+  Matrix ga = Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  Matrix gb = Matrix::FromRows({{2.0, 0.0}, {0.0, 0.5}});
+  DirectionalErrorRange r = SignedCovarianceError(ga, gb, 2.0);
+  EXPECT_LT(r.min_error, 0.0);
+  EXPECT_GT(r.max_error, 0.0);
+}
+
+}  // namespace
+}  // namespace matrix
+}  // namespace dmt

@@ -1,0 +1,201 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_matrix.h"
+#include "matrix/error.h"
+#include "matrix/mp1_batched_fd.h"
+#include "matrix/mp2_svd_threshold.h"
+#include "matrix/mp3_sampling.h"
+#include "matrix/mp4_experimental.h"
+#include "stream/router.h"
+
+namespace dmt {
+namespace matrix {
+namespace {
+
+struct DriveResult {
+  CovarianceTracker truth{1};
+  stream::CommStats stats;
+};
+
+DriveResult Drive(MatrixTrackingProtocol* p, size_t m, size_t n, size_t dim,
+          size_t latent_rank, uint64_t seed) {
+  data::SyntheticMatrixConfig cfg;
+  cfg.dim = dim;
+  cfg.latent_rank = latent_rank;
+  cfg.seed = seed;
+  data::SyntheticMatrixGenerator gen(cfg);
+  stream::Router router(m, stream::RoutingPolicy::kUniform, seed + 1);
+  DriveResult r;
+  r.truth = CovarianceTracker(dim);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row = gen.Next();
+    r.truth.AddRow(row);
+    p->ProcessRow(router.NextSite(), row);
+  }
+  r.stats = p->comm_stats();
+  return r;
+}
+
+TEST(MP1Test, ErrorWithinEpsilon) {
+  const double eps = 0.1;
+  MP1BatchedFD p(6, eps);
+  DriveResult r = Drive(&p, 6, 20000, 12, 4, 1);
+  EXPECT_LE(CovarianceError(r.truth, p.CoordinatorGram()), eps + 1e-9);
+}
+
+TEST(MP1Test, CoordinatorFrobeniusTracksTruth) {
+  const double eps = 0.1;
+  MP1BatchedFD p(4, eps);
+  DriveResult r = Drive(&p, 4, 10000, 10, 3, 2);
+  EXPECT_NEAR(p.coordinator_frobenius(), r.truth.squared_frobenius(),
+              eps * r.truth.squared_frobenius());
+}
+
+TEST(MP2Test, ErrorWithinEpsilonAndOneSided) {
+  const double eps = 0.1;
+  MP2SvdThreshold p(6, eps);
+  DriveResult r = Drive(&p, 6, 20000, 12, 4, 3);
+  DirectionalErrorRange range = SignedCovarianceError(
+      r.truth.gram(), p.CoordinatorGram(), r.truth.squared_frobenius());
+  // Theorem 4: 0 <= ‖Ax‖² − ‖Bx‖² <= ε‖A‖²_F.
+  EXPECT_LE(range.max_error, eps + 1e-9);
+  EXPECT_GE(range.min_error, -1e-9);
+}
+
+TEST(MP2Test, LazyDecompositionsFarFewerThanRows) {
+  const size_t n = 20000;
+  MP2SvdThreshold p(6, 0.1);
+  Drive(&p, 6, n, 12, 4, 4);
+  // The trace-guard makes decompositions event-driven, not per-row.
+  EXPECT_LT(p.decomposition_count(), n / 4);
+}
+
+TEST(MP2Test, CommunicationFarBelowNaive) {
+  const size_t n = 20000;
+  MP2SvdThreshold p(10, 0.2);
+  DriveResult r = Drive(&p, 10, n, 12, 4, 5);
+  EXPECT_LT(r.stats.total(), n / 2);
+}
+
+TEST(MP2Test, SketchReconstructsCoordinatorGram) {
+  MP2SvdThreshold p(4, 0.15);
+  Drive(&p, 4, 5000, 8, 3, 6);
+  linalg::Matrix sketch = p.CoordinatorSketch();
+  EXPECT_LT(sketch.Gram().MaxAbsDiff(p.CoordinatorGram()),
+            1e-6 * p.CoordinatorGram().SquaredFrobeniusNorm() + 1e-9);
+}
+
+TEST(MP3WoRTest, ErrorWithinEpsilonWhp) {
+  const double eps = 0.1;
+  MP3SamplingWoR p(6, eps, 99);
+  DriveResult r = Drive(&p, 6, 20000, 12, 4, 7);
+  // Randomized: allow 2x nominal for the fixed seed.
+  EXPECT_LE(CovarianceError(r.truth, p.CoordinatorGram()), 2.0 * eps);
+}
+
+TEST(MP3WoRTest, ExactBeforeFirstRoundEnds) {
+  MP3SamplingWoR p(4, 0.1, 5, /*sample_size=*/1 << 20);
+  DriveResult r = Drive(&p, 4, 3000, 8, 3, 8);
+  EXPECT_LE(CovarianceError(r.truth, p.CoordinatorGram()), 1e-10);
+}
+
+TEST(MP3WRTest, ErrorReasonable) {
+  const double eps = 0.1;
+  MP3SamplingWR p(6, eps, 17);
+  DriveResult r = Drive(&p, 6, 20000, 12, 4, 9);
+  EXPECT_LE(CovarianceError(r.truth, p.CoordinatorGram()), 4.0 * eps);
+}
+
+TEST(MP3Test, WoRBeatsWRInMessagesAndError) {
+  // The paper's Table 1 finding: without-replacement needs fewer messages
+  // and achieves lower error at the same eps.
+  const double eps = 0.15;
+  MP3SamplingWoR wor(6, eps, 21);
+  MP3SamplingWR wr(6, eps, 21);
+  DriveResult r_wor = Drive(&wor, 6, 20000, 12, 4, 10);
+  DriveResult r_wr = Drive(&wr, 6, 20000, 12, 4, 10);
+  EXPECT_LT(r_wor.stats.total(), r_wr.stats.total());
+  EXPECT_LE(CovarianceError(r_wor.truth, wor.CoordinatorGram()),
+            CovarianceError(r_wr.truth, wr.CoordinatorGram()) + 0.05);
+}
+
+TEST(MP4Test, RunsAndReportsButErrorIsLarge) {
+  // The appendix's negative result: P4's error is much worse than eps and
+  // typically worse than every other protocol.
+  const double eps = 0.05;
+  MP4Experimental p4(6, eps, 3);
+  MP2SvdThreshold p2(6, eps);
+  DriveResult r4 = Drive(&p4, 6, 10000, 12, 4, 11);
+  DriveResult r2 = Drive(&p2, 6, 10000, 12, 4, 11);
+  const double err4 = CovarianceError(r4.truth, p4.CoordinatorGram());
+  const double err2 = CovarianceError(r2.truth, p2.CoordinatorGram());
+  EXPECT_GT(err4, err2);
+  EXPECT_GT(err4, eps);  // fails its nominal target
+}
+
+TEST(MP4Test, RealignmentReducesError) {
+  // The appendix's sketched fix: periodic FD re-alignment should repair a
+  // large part of the error (at extra communication).
+  const double eps = 0.05;
+  MP4Options plain;
+  MP4Options realign;
+  realign.realign_rounds = 2;
+  MP4Experimental p_plain(6, eps, 3, plain);
+  MP4Experimental p_realign(6, eps, 3, realign);
+  DriveResult r_plain = Drive(&p_plain, 6, 10000, 12, 4, 12);
+  DriveResult r_realign = Drive(&p_realign, 6, 10000, 12, 4, 12);
+  const double err_plain =
+      CovarianceError(r_plain.truth, p_plain.CoordinatorGram());
+  const double err_realign =
+      CovarianceError(r_realign.truth, p_realign.CoordinatorGram());
+  EXPECT_LT(err_realign, err_plain);
+  EXPECT_GT(p_realign.comm_stats().total(), p_plain.comm_stats().total());
+}
+
+TEST(MatrixProtocolTest, ContinuousQueriesHoldMidStream) {
+  // The guarantee is *continuous*: check at many prefixes, not just at the
+  // end.
+  const double eps = 0.15;
+  MP2SvdThreshold p(5, eps);
+  data::SyntheticMatrixConfig cfg;
+  cfg.dim = 10;
+  cfg.latent_rank = 3;
+  cfg.seed = 13;
+  data::SyntheticMatrixGenerator gen(cfg);
+  stream::Router router(5, stream::RoutingPolicy::kUniform, 14);
+  CovarianceTracker truth(10);
+  for (size_t i = 0; i < 8000; ++i) {
+    std::vector<double> row = gen.Next();
+    truth.AddRow(row);
+    p.ProcessRow(router.NextSite(), row);
+    if ((i + 1) % 1000 == 0) {
+      ASSERT_LE(CovarianceError(truth, p.CoordinatorGram()), eps + 1e-9)
+          << "violated at prefix " << i + 1;
+    }
+  }
+}
+
+TEST(MatrixProtocolTest, SkewedRoutingStillMeetsGuarantee) {
+  const double eps = 0.15;
+  MP2SvdThreshold p(8, eps);
+  data::SyntheticMatrixConfig cfg;
+  cfg.dim = 10;
+  cfg.latent_rank = 3;
+  cfg.seed = 15;
+  data::SyntheticMatrixGenerator gen(cfg);
+  stream::Router router(8, stream::RoutingPolicy::kSkewed, 16);
+  CovarianceTracker truth(10);
+  for (size_t i = 0; i < 10000; ++i) {
+    std::vector<double> row = gen.Next();
+    truth.AddRow(row);
+    p.ProcessRow(router.NextSite(), row);
+  }
+  EXPECT_LE(CovarianceError(truth, p.CoordinatorGram()), eps + 1e-9);
+}
+
+}  // namespace
+}  // namespace matrix
+}  // namespace dmt

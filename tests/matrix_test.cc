@@ -1,0 +1,154 @@
+#include "linalg/matrix.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace linalg {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, AppendRowInfersColumnCount) {
+  Matrix m;
+  m.AppendRow({1.0, 2.0});
+  m.AppendRow({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, FromRowsRoundTrips) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.RowVector(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.ColVector(2), (std::vector<double>{3, 6}));
+}
+
+TEST(MatrixTest, IdentityDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposedSwapsShape) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix c = a.Multiply(Matrix::Identity(3));
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(c), 0.0);
+}
+
+TEST(MatrixTest, GramMatchesExplicitTransposeProduct) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 10}});
+  Matrix g = a.Gram();
+  Matrix expected = a.Transposed().Multiply(a);
+  EXPECT_LT(g.MaxAbsDiff(expected), 1e-12);
+}
+
+TEST(MatrixTest, GramIsSymmetric) {
+  Matrix a = Matrix::FromRows({{1, -2, 0.5}, {0, 3, 2}});
+  Matrix g = a.Gram();
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  std::vector<double> y = a.MultiplyVector({1.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(MatrixTest, TransposedMultiplyVector) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  std::vector<double> y = a.TransposedMultiplyVector({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(MatrixTest, SquaredFrobeniusNorm) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});
+  EXPECT_DOUBLE_EQ(a.SquaredFrobeniusNorm(), 10.0);
+}
+
+TEST(MatrixTest, SquaredNormAlongAxis) {
+  Matrix a = Matrix::FromRows({{1, 0}, {2, 0}, {0, 5}});
+  EXPECT_DOUBLE_EQ(a.SquaredNormAlong({1.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNormAlong({0.0, 1.0}), 25.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{3, 5}});
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a(0, 1), 7.0);
+  a.Subtract(b);
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  a.ScaleBy(2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(MatrixTest, AddOuterProductMatchesGramUpdate) {
+  Matrix g(3, 3);
+  std::vector<double> v{1.0, -2.0, 0.5};
+  g.AddOuterProduct(2.0, v);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(g(i, j), 2.0 * v[i] * v[j], 1e-15);
+    }
+  }
+}
+
+TEST(MatrixTest, ClearRowsKeepsColumns) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  m.ClearRows();
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 2u);
+  m.AppendRow({5.0, 6.0});
+  EXPECT_EQ(m.rows(), 1u);
+}
+
+TEST(MatrixDeathTest, MismatchedRowLengthAborts) {
+  Matrix m;
+  m.AppendRow({1.0, 2.0});
+  EXPECT_DEATH(m.AppendRow({1.0, 2.0, 3.0}), "DMT_CHECK");
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dmt

@@ -1,0 +1,158 @@
+#include "sketch/misra_gries.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dmt {
+namespace sketch {
+namespace {
+
+TEST(MisraGriesTest, ExactWhenUnderCapacity) {
+  WeightedMisraGries mg(10);
+  mg.Update(1, 5.0);
+  mg.Update(2, 3.0);
+  mg.Update(1, 2.0);
+  EXPECT_DOUBLE_EQ(mg.Estimate(1), 7.0);
+  EXPECT_DOUBLE_EQ(mg.Estimate(2), 3.0);
+  EXPECT_DOUBLE_EQ(mg.Estimate(99), 0.0);
+  EXPECT_DOUBLE_EQ(mg.total_weight(), 10.0);
+  EXPECT_DOUBLE_EQ(mg.total_decrement(), 0.0);
+}
+
+TEST(MisraGriesTest, ZeroWeightIsIgnored) {
+  WeightedMisraGries mg(4);
+  mg.Update(1, 0.0);
+  EXPECT_EQ(mg.size(), 0u);
+  EXPECT_DOUBLE_EQ(mg.total_weight(), 0.0);
+}
+
+TEST(MisraGriesTest, NeverOverestimates) {
+  WeightedMisraGries mg(3);
+  Rng rng(1);
+  std::map<uint64_t, double> truth;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t e = rng.NextBelow(50);
+    double w = 1.0 + rng.NextDouble();
+    truth[e] += w;
+    mg.Update(e, w);
+  }
+  for (const auto& [e, w] : truth) {
+    EXPECT_LE(mg.Estimate(e), w + 1e-9) << "element " << e;
+  }
+}
+
+TEST(MisraGriesTest, WithEpsilonSizesCounters) {
+  WeightedMisraGries mg = WeightedMisraGries::WithEpsilon(0.01);
+  EXPECT_EQ(mg.k(), 100u);
+}
+
+TEST(MisraGriesTest, SizeBoundedByTwoK) {
+  WeightedMisraGries mg(5);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    mg.Update(rng.NextBelow(400), 1.0 + rng.NextDouble());
+    EXPECT_LE(mg.size(), 10u);
+  }
+}
+
+TEST(MisraGriesTest, ClearResetsEverything) {
+  WeightedMisraGries mg(3);
+  mg.Update(1, 2.0);
+  mg.Clear();
+  EXPECT_EQ(mg.size(), 0u);
+  EXPECT_DOUBLE_EQ(mg.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(mg.Estimate(1), 0.0);
+}
+
+TEST(MisraGriesTest, ItemsSortedByEstimate) {
+  WeightedMisraGries mg(5);
+  mg.Update(1, 1.0);
+  mg.Update(2, 9.0);
+  mg.Update(3, 4.0);
+  auto items = mg.Items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 2u);
+  EXPECT_EQ(items[1].first, 3u);
+  EXPECT_EQ(items[2].first, 1u);
+}
+
+// Property sweep: the MG undercount bound W_e - est <= W/(k+1) must hold
+// for every element over adversarial-ish random streams.
+class MisraGriesBoundTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, int>> {};
+
+TEST_P(MisraGriesBoundTest, UndercountWithinBound) {
+  auto [k, universe, seed] = GetParam();
+  WeightedMisraGries mg(k);
+  Rng rng(seed);
+  std::map<uint64_t, double> truth;
+  double total = 0.0;
+  // Zipf-ish skew: low ids are hot.
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t e = rng.NextBelow(universe);
+    if (rng.NextDouble() < 0.5) e = rng.NextBelow(1 + universe / 10);
+    double w = 1.0 + 9.0 * rng.NextDouble();
+    truth[e] += w;
+    total += w;
+    mg.Update(e, w);
+  }
+  const double bound = total / static_cast<double>(k + 1);
+  EXPECT_LE(mg.total_decrement(), bound + 1e-9);
+  for (const auto& [e, w] : truth) {
+    const double est = mg.Estimate(e);
+    EXPECT_LE(est, w + 1e-9);
+    EXPECT_GE(est, w - bound - 1e-9)
+        << "element " << e << " k=" << k << " universe=" << universe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MisraGriesBoundTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 8, 32, 128),
+                       ::testing::Values<uint64_t>(10, 100, 1000),
+                       ::testing::Values(1, 2)));
+
+TEST(MisraGriesMergeTest, MergedBoundHoldsForCombinedStream) {
+  const size_t k = 16;
+  WeightedMisraGries a(k), b(k);
+  Rng rng(3);
+  std::map<uint64_t, double> truth;
+  double total = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t e = rng.NextBelow(200);
+    double w = 1.0 + rng.NextDouble();
+    truth[e] += w;
+    total += w;
+    (i % 2 == 0 ? a : b).Update(e, w);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.total_weight(), total, 1e-9 * total);
+  const double bound = total / static_cast<double>(k + 1);
+  for (const auto& [e, w] : truth) {
+    EXPECT_LE(a.Estimate(e), w + 1e-9);
+    EXPECT_GE(a.Estimate(e), w - bound - 1e-9);
+  }
+}
+
+TEST(MisraGriesMergeTest, MergeEmptyIsNoop) {
+  WeightedMisraGries a(4), b(4);
+  a.Update(1, 2.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(1), 2.0);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 2.0);
+}
+
+TEST(MisraGriesMergeDeathTest, MismatchedKAborts) {
+  WeightedMisraGries a(4), b(5);
+  EXPECT_DEATH(a.Merge(b), "DMT_CHECK");
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace dmt

@@ -1,0 +1,69 @@
+#include "stream/network.h"
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace stream {
+namespace {
+
+TEST(CommStatsTest, TotalsAddUp) {
+  CommStats s;
+  s.scalar_up = 3;
+  s.element_up = 5;
+  s.vector_up = 7;
+  s.broadcast_msgs = 20;
+  EXPECT_EQ(s.total_up(), 15u);
+  EXPECT_EQ(s.total(), 35u);
+}
+
+TEST(CommStatsTest, PlusEqualsAccumulates) {
+  CommStats a, b;
+  a.scalar_up = 1;
+  b.scalar_up = 2;
+  b.vector_up = 4;
+  b.rounds = 3;
+  a += b;
+  EXPECT_EQ(a.scalar_up, 3u);
+  EXPECT_EQ(a.vector_up, 4u);
+  EXPECT_EQ(a.rounds, 3u);
+}
+
+TEST(NetworkTest, RecordsPerCategory) {
+  Network net(4);
+  net.RecordScalar(0);
+  net.RecordElement(1);
+  net.RecordElement(1);
+  net.RecordVector(3);
+  EXPECT_EQ(net.stats().scalar_up, 1u);
+  EXPECT_EQ(net.stats().element_up, 2u);
+  EXPECT_EQ(net.stats().vector_up, 1u);
+  EXPECT_EQ(net.stats().total_up(), 4u);
+}
+
+TEST(NetworkTest, BroadcastCostsOneMessagePerSite) {
+  Network net(7);
+  net.RecordBroadcast();
+  net.RecordBroadcast();
+  EXPECT_EQ(net.stats().broadcast_events, 2u);
+  EXPECT_EQ(net.stats().broadcast_msgs, 14u);
+  EXPECT_EQ(net.stats().total(), 14u);
+}
+
+TEST(NetworkTest, PerSiteUpstreamCounters) {
+  Network net(3);
+  net.RecordScalar(0);
+  net.RecordVector(0);
+  net.RecordElement(2);
+  EXPECT_EQ(net.per_site_up()[0], 2u);
+  EXPECT_EQ(net.per_site_up()[1], 0u);
+  EXPECT_EQ(net.per_site_up()[2], 1u);
+}
+
+TEST(NetworkDeathTest, OutOfRangeSiteAborts) {
+  Network net(2);
+  EXPECT_DEATH(net.RecordScalar(2), "DMT_CHECK");
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace dmt

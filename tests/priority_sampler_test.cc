@@ -1,0 +1,113 @@
+#include "sketch/priority_sampler.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace sketch {
+namespace {
+
+TEST(AdjustedSampleTest, EmptyAndSingletonYieldEmpty) {
+  EXPECT_TRUE(AdjustedSample({}).empty());
+  EXPECT_TRUE(AdjustedSample({{1, 2.0, 3.0}}).empty());
+}
+
+TEST(AdjustedSampleTest, DropsMinPriorityAndClampsWeights) {
+  std::vector<PriorityEntry> in{
+      {1, 5.0, 100.0}, {2, 0.5, 10.0}, {3, 2.0, 1.0}};
+  auto out = AdjustedSample(in);
+  ASSERT_EQ(out.size(), 2u);
+  // Element 3 (priority 1.0) is the threshold item and is dropped;
+  // tau = 1.0, so weights become max(w, 1.0).
+  EXPECT_EQ(out[0].element, 1u);
+  EXPECT_DOUBLE_EQ(out[0].weight, 5.0);
+  EXPECT_EQ(out[1].element, 2u);
+  EXPECT_DOUBLE_EQ(out[1].weight, 1.0);
+}
+
+TEST(PrioritySamplerWoRTest, ExactBelowSampleSize) {
+  PrioritySamplerWoR s(10, 42);
+  s.Add(1, 2.0);
+  s.Add(2, 3.0);
+  EXPECT_DOUBLE_EQ(s.EstimateTotalWeight(), 5.0);
+  EXPECT_DOUBLE_EQ(s.EstimateElementWeight(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.EstimateElementWeight(7), 0.0);
+}
+
+TEST(PrioritySamplerWoRTest, TotalWeightEstimateConcentrates) {
+  // E[W_S] = W; with s = 256 the relative error should be small.
+  const size_t s = 256;
+  double sum_est = 0.0;
+  const int trials = 20;
+  const double true_total = 5000.0;  // 5000 unit-ish items
+  for (int t = 0; t < trials; ++t) {
+    PrioritySamplerWoR sampler(s, 1000 + t);
+    for (int i = 0; i < 5000; ++i) sampler.Add(i, 1.0);
+    sum_est += sampler.EstimateTotalWeight();
+  }
+  EXPECT_NEAR(sum_est / trials, true_total, 0.05 * true_total);
+}
+
+TEST(PrioritySamplerWoRTest, HeavyElementEstimateAccurate) {
+  // One element holds 30% of the weight; a 512-sample estimate must see it.
+  PrioritySamplerWoR sampler(512, 77);
+  const int n = 4000;
+  double heavy = 0.0, total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sampler.Add(1, 3.0);
+    heavy += 3.0;
+    sampler.Add(100 + (i % 500), 7.0 / 3.0);
+    total += 3.0 + 7.0 / 3.0;
+  }
+  const double est = sampler.EstimateElementWeight(1);
+  EXPECT_NEAR(est, heavy, 0.15 * heavy);
+}
+
+TEST(PrioritySamplerWoRTest, LargeWeightsKeptDeterministically) {
+  PrioritySamplerWoR sampler(8, 5);
+  for (int i = 0; i < 1000; ++i) sampler.Add(i, 1.0);
+  sampler.Add(9999, 1e6);  // giant item: priority >= 1e6, always sampled
+  EXPECT_GT(sampler.EstimateElementWeight(9999), 0.0);
+}
+
+TEST(PrioritySamplerWRTest, TotalWeightEstimateUnbiasedish) {
+  const size_t s = 128;
+  double sum_est = 0.0;
+  const int trials = 30;
+  double true_total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    PrioritySamplerWR sampler(s, 500 + t);
+    true_total = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      double w = 1.0 + (i % 5);
+      sampler.Add(i % 300, w);
+      true_total += w;
+    }
+    sum_est += sampler.EstimateTotalWeight();
+  }
+  EXPECT_NEAR(sum_est / trials, true_total, 0.15 * true_total);
+}
+
+TEST(PrioritySamplerWRTest, HeavyElementDominatesSlots) {
+  PrioritySamplerWR sampler(64, 9);
+  // 80% of mass on element 1.
+  for (int i = 0; i < 2000; ++i) {
+    sampler.Add(1, 8.0);
+    sampler.Add(2 + (i % 100), 2.0);
+  }
+  const double est1 = sampler.EstimateElementWeight(1);
+  const double total = sampler.EstimateTotalWeight();
+  EXPECT_GT(est1, 0.6 * total);
+}
+
+TEST(PrioritySamplerWRTest, EmptySamplerEstimatesZero) {
+  PrioritySamplerWR sampler(16, 3);
+  EXPECT_DOUBLE_EQ(sampler.EstimateTotalWeight(), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.EstimateElementWeight(1), 0.0);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace dmt

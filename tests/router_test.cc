@@ -1,0 +1,57 @@
+#include "stream/router.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace stream {
+namespace {
+
+TEST(RouterTest, RoundRobinCycles) {
+  Router r(3, RoutingPolicy::kRoundRobin, 1);
+  EXPECT_EQ(r.NextSite(), 0u);
+  EXPECT_EQ(r.NextSite(), 1u);
+  EXPECT_EQ(r.NextSite(), 2u);
+  EXPECT_EQ(r.NextSite(), 0u);
+}
+
+TEST(RouterTest, UniformCoversAllSitesEvenly) {
+  const size_t m = 8;
+  Router r(m, RoutingPolicy::kUniform, 2);
+  std::vector<int> counts(m, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[r.NextSite()];
+  for (size_t s = 0; s < m; ++s) {
+    EXPECT_NEAR(counts[s], n / static_cast<int>(m), n / m * 0.1);
+  }
+}
+
+TEST(RouterTest, SkewedFavorsSiteZero) {
+  const size_t m = 10;
+  Router r(m, RoutingPolicy::kSkewed, 3);
+  std::vector<int> counts(m, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[r.NextSite()];
+  // Site 0 receives ~50% + ~5% = ~55%.
+  EXPECT_GT(counts[0], n * 0.5);
+  for (size_t s = 1; s < m; ++s) EXPECT_GT(counts[s], 0);
+}
+
+TEST(RouterTest, SingleSiteAlwaysZero) {
+  for (auto policy : {RoutingPolicy::kUniform, RoutingPolicy::kRoundRobin,
+                      RoutingPolicy::kSkewed}) {
+    Router r(1, policy, 4);
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(r.NextSite(), 0u);
+  }
+}
+
+TEST(RouterTest, DeterministicForSeed) {
+  Router a(5, RoutingPolicy::kUniform, 99);
+  Router b(5, RoutingPolicy::kUniform, 99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextSite(), b.NextSite());
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace dmt

@@ -1,0 +1,122 @@
+#include "sketch/sliding_window_fd.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "linalg/jacobi_eigen.h"
+#include "linalg/spectral.h"
+#include "util/rng.h"
+
+namespace dmt {
+namespace sketch {
+namespace {
+
+using linalg::Matrix;
+
+double RelativeSpectralDiff(const Matrix& gram_a, const Matrix& gram_b,
+                            double frob_a) {
+  Matrix diff = gram_a;
+  diff.Subtract(gram_b);
+  return linalg::SpectralNormSymmetric(diff) / frob_a;
+}
+
+TEST(SlidingWindowFdTest, BlockCountLogarithmic) {
+  SlidingWindowFD sw(1024, 8);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<double> row(6);
+    for (auto& v : row) v = rng.NextGaussian();
+    sw.Append(row);
+    ASSERT_LE(sw.block_count(), 2 * 12 + 2u);  // 2 per size class
+  }
+}
+
+TEST(SlidingWindowFdTest, ExpiresOldRegime) {
+  // Phase 1 fills direction e1 heavily; phase 2 (longer than the window)
+  // only feeds e2. After phase 2 the sketch must carry ~no e1 energy.
+  const size_t window = 500;
+  SlidingWindowFD sw(window, 8);
+  std::vector<double> e1{10.0, 0.0};
+  std::vector<double> e2{0.0, 1.0};
+  for (int i = 0; i < 1000; ++i) sw.Append(e1);
+  for (int i = 0; i < 3000; ++i) sw.Append(e2);
+
+  Matrix gram = sw.Gram();
+  // Energy along e1 must be zero (all e1 blocks expired).
+  EXPECT_NEAR(gram(0, 0), 0.0, 1e-9);
+  // Energy along e2 covers roughly the window (between W/2 and W+slack).
+  EXPECT_GT(gram(1, 1), window / 2.0);
+  EXPECT_LT(gram(1, 1), 2.0 * window);
+}
+
+class SlidingWindowAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(SlidingWindowAccuracyTest, ApproximatesExactWindowMatrix) {
+  auto [window, ell] = GetParam();
+  const size_t d = 8;
+  SlidingWindowFD sw(window, ell);
+  Rng rng(7);
+  std::vector<std::vector<double>> history;
+  const size_t n = 4 * window;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(d);
+    for (auto& v : row) v = rng.NextGaussian();
+    history.push_back(row);
+    sw.Append(row);
+  }
+  // Exact matrix over the covered range: [newest - covered + 1, newest].
+  // The sketch covers between (window - oldest_block) and (window +
+  // oldest_block) rows; compare against the window plus the straddling
+  // slack and require the FD bound plus the boundary slack.
+  Matrix exact_window(0, d);
+  for (size_t i = n - window; i < n; ++i) {
+    exact_window.AppendRow(history[i]);
+  }
+  const double frob = exact_window.SquaredFrobeniusNorm();
+  const double fd_eps = 1.0 / static_cast<double>(ell + 1);
+  // Boundary slack: at most oldest_block_rows() rows (each of expected
+  // squared norm ~d) may be extra or missing.
+  const double boundary =
+      static_cast<double>(sw.oldest_block_rows() * d) * 2.5 / frob;
+  const double err =
+      RelativeSpectralDiff(exact_window.Gram(), sw.Gram(), frob);
+  EXPECT_LE(err, 3.0 * fd_eps + boundary)
+      << "window=" << window << " ell=" << ell;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlidingWindowAccuracyTest,
+    ::testing::Combine(::testing::Values<size_t>(256, 1024),
+                       ::testing::Values<size_t>(8, 16)));
+
+TEST(SlidingWindowFdTest, ConservativeQueryExcludesStraddler) {
+  SlidingWindowFD sw(100, 4);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<double> row(4);
+    for (auto& v : row) v = rng.NextGaussian();
+    sw.Append(row);
+  }
+  Matrix with = sw.Gram(true);
+  Matrix without = sw.Gram(false);
+  // The conservative query never has more energy than the inclusive one.
+  double trace_with = 0.0, trace_without = 0.0;
+  for (size_t i = 0; i < 4; ++i) {
+    trace_with += with(i, i);
+    trace_without += without(i, i);
+  }
+  EXPECT_LE(trace_without, trace_with + 1e-9);
+}
+
+TEST(SlidingWindowFdTest, RowsSeenCounts) {
+  SlidingWindowFD sw(10, 2);
+  for (int i = 0; i < 7; ++i) sw.Append({1.0});
+  EXPECT_EQ(sw.rows_seen(), 7u);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace dmt

@@ -1,0 +1,94 @@
+#include "sketch/space_saving.h"
+
+#include <map>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dmt {
+namespace sketch {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving ss(8);
+  ss.Update(1, 3.0);
+  ss.Update(2, 4.0);
+  ss.Update(1, 1.0);
+  EXPECT_DOUBLE_EQ(ss.Estimate(1), 4.0);
+  EXPECT_DOUBLE_EQ(ss.Estimate(2), 4.0);
+  EXPECT_DOUBLE_EQ(ss.ErrorBound(1), 0.0);
+}
+
+TEST(SpaceSavingTest, EvictionStealsMinimumSlot) {
+  SpaceSaving ss(2);
+  ss.Update(1, 5.0);
+  ss.Update(2, 1.0);
+  ss.Update(3, 2.0);  // evicts element 2 (count 1): new count 3.0, err 1.0
+  EXPECT_DOUBLE_EQ(ss.Estimate(3), 3.0);
+  EXPECT_DOUBLE_EQ(ss.ErrorBound(3), 1.0);
+  // Untracked element estimate equals current min counter.
+  EXPECT_DOUBLE_EQ(ss.Estimate(2), 3.0);
+}
+
+TEST(SpaceSavingTest, ItemsSortedDescending) {
+  SpaceSaving ss(4);
+  ss.Update(1, 1.0);
+  ss.Update(2, 5.0);
+  ss.Update(3, 3.0);
+  auto items = ss.Items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 2u);
+  EXPECT_EQ(items[2].first, 1u);
+}
+
+// Property sweep: SpaceSaving never underestimates, and overestimates by at
+// most W/k.
+class SpaceSavingBoundTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, int>> {};
+
+TEST_P(SpaceSavingBoundTest, OverestimateWithinBound) {
+  auto [k, universe, seed] = GetParam();
+  SpaceSaving ss(k);
+  Rng rng(seed);
+  std::map<uint64_t, double> truth;
+  double total = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t e = rng.NextBelow(universe);
+    if (rng.NextDouble() < 0.5) e = rng.NextBelow(1 + universe / 10);
+    double w = 1.0 + 4.0 * rng.NextDouble();
+    truth[e] += w;
+    total += w;
+    ss.Update(e, w);
+  }
+  const double bound = total / static_cast<double>(k);
+  for (const auto& [e, w] : truth) {
+    const double est = ss.Estimate(e);
+    EXPECT_GE(est, w - 1e-9) << "element " << e;
+    EXPECT_LE(est, w + bound + 1e-9) << "element " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpaceSavingBoundTest,
+    ::testing::Combine(::testing::Values<size_t>(4, 16, 64),
+                       ::testing::Values<uint64_t>(20, 500),
+                       ::testing::Values(1, 2)));
+
+TEST(SpaceSavingTest, HeavyElementSurvivesChurn) {
+  SpaceSaving ss(4);
+  Rng rng(7);
+  // One heavy element among a churn of light ones.
+  for (int i = 0; i < 2000; ++i) {
+    ss.Update(999, 10.0);
+    ss.Update(rng.NextBelow(1000), 1.0);
+  }
+  auto items = ss.Items();
+  EXPECT_EQ(items[0].first, 999u);
+  EXPECT_GE(items[0].second, 20000.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace dmt

@@ -1,0 +1,63 @@
+#include "linalg/spectral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/jacobi_eigen.h"
+#include "linalg/vec_ops.h"
+
+namespace dmt {
+namespace linalg {
+namespace {
+
+TEST(SpectralTest, PowerIterationMatchesExactEigen) {
+  Rng rng(1);
+  Matrix a = RandomGaussianMatrix(30, 8, &rng);
+  Matrix s = a.Gram();
+  double exact = SpectralNormSymmetric(s);
+  double approx = PowerIterationSpectralNorm(s, 200, &rng);
+  EXPECT_NEAR(approx, exact, 1e-6 * exact);
+}
+
+TEST(SpectralTest, PowerIterationOnZeroMatrix) {
+  Rng rng(2);
+  Matrix s(5, 5);
+  EXPECT_DOUBLE_EQ(PowerIterationSpectralNorm(s, 50, &rng), 0.0);
+}
+
+TEST(SpectralTest, RandomUnitVectorHasUnitNorm) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> x = RandomUnitVector(16, &rng);
+    EXPECT_NEAR(Norm(x), 1.0, 1e-12);
+  }
+}
+
+TEST(SpectralTest, RandomGaussianMatrixShape) {
+  Rng rng(4);
+  Matrix m = RandomGaussianMatrix(7, 3, &rng);
+  EXPECT_EQ(m.rows(), 7u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(SpectralTest, RandomOrthogonalMatrixIsOrthogonal) {
+  Rng rng(5);
+  const size_t d = 12;
+  Matrix q = RandomOrthogonalMatrix(d, &rng);
+  Matrix qtq = q.Transposed().Multiply(q);
+  EXPECT_LT(qtq.MaxAbsDiff(Matrix::Identity(d)), 1e-10);
+}
+
+TEST(SpectralTest, OrthogonalMatrixPreservesNorms) {
+  Rng rng(6);
+  const size_t d = 9;
+  Matrix q = RandomOrthogonalMatrix(d, &rng);
+  std::vector<double> x = RandomUnitVector(d, &rng);
+  std::vector<double> qx = q.MultiplyVector(x);
+  EXPECT_NEAR(Norm(qx), 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dmt

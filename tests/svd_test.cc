@@ -1,0 +1,126 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/spectral.h"
+#include "linalg/vec_ops.h"
+#include "util/rng.h"
+
+namespace dmt {
+namespace linalg {
+namespace {
+
+Matrix SvdReconstruct(const SvdResult& svd, size_t rows, size_t cols) {
+  Matrix out(rows, cols);
+  for (size_t t = 0; t < svd.sigma.size(); ++t) {
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        out(i, j) += svd.u(i, t) * svd.sigma[t] * svd.v(j, t);
+      }
+    }
+  }
+  return out;
+}
+
+void ExpectOrthonormalColumns(const Matrix& m, double tol) {
+  for (size_t i = 0; i < m.cols(); ++i) {
+    std::vector<double> ci = m.ColVector(i);
+    EXPECT_NEAR(Norm(ci), 1.0, tol) << "column " << i;
+    for (size_t j = i + 1; j < m.cols(); ++j) {
+      std::vector<double> cj = m.ColVector(j);
+      EXPECT_NEAR(Dot(ci, cj), 0.0, tol) << "columns " << i << "," << j;
+    }
+  }
+}
+
+class ThinSvdShapeTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(ThinSvdShapeTest, ReconstructsAndIsOrthonormal) {
+  auto [n, d] = GetParam();
+  Rng rng(n * 131 + d);
+  Matrix a = RandomGaussianMatrix(n, d, &rng);
+  SvdResult svd = ThinSVD(a);
+  const size_t r = std::min(n, d);
+  ASSERT_EQ(svd.sigma.size(), r);
+  ASSERT_EQ(svd.u.rows(), n);
+  ASSERT_EQ(svd.u.cols(), r);
+  ASSERT_EQ(svd.v.rows(), d);
+  ASSERT_EQ(svd.v.cols(), r);
+
+  Matrix rec = SvdReconstruct(svd, n, d);
+  EXPECT_LT(a.MaxAbsDiff(rec), 1e-9 * std::sqrt(a.SquaredFrobeniusNorm()));
+  ExpectOrthonormalColumns(svd.u, 1e-9);
+  ExpectOrthonormalColumns(svd.v, 1e-9);
+  for (size_t i = 0; i + 1 < r; ++i) EXPECT_GE(svd.sigma[i], svd.sigma[i + 1]);
+  for (double s : svd.sigma) EXPECT_GE(s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ThinSvdShapeTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(10, 10),
+                      std::make_pair<size_t, size_t>(30, 8),
+                      std::make_pair<size_t, size_t>(8, 30),
+                      std::make_pair<size_t, size_t>(1, 5),
+                      std::make_pair<size_t, size_t>(5, 1)));
+
+TEST(SvdTest, SingularValuesMatchGramEigenvalues) {
+  Rng rng(5);
+  Matrix a = RandomGaussianMatrix(40, 10, &rng);
+  SvdResult svd = ThinSVD(a);
+  RightSingular rs = RightSingularOf(a);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(svd.sigma[i] * svd.sigma[i], rs.squared_sigma[i],
+                1e-7 * rs.squared_sigma[0]);
+  }
+}
+
+TEST(SvdTest, RightSingularFromGramClampsNegatives) {
+  // A slightly indefinite "Gram" from roundoff must clamp at zero.
+  Matrix g = Matrix::FromRows({{1.0, 0.0}, {0.0, -1e-18}});
+  RightSingular rs = RightSingularFromGram(g);
+  EXPECT_GE(rs.squared_sigma[1], 0.0);
+}
+
+TEST(SvdTest, RankKOfLowRankMatrixIsExact) {
+  // Rank-2 matrix: rank-2 approximation must reproduce it.
+  Matrix a = Matrix::FromRows({{1, 0, 0}, {0, 2, 0}, {2, 0, 0}, {0, 4, 0}});
+  Matrix a2 = RankKApproximation(a, 2);
+  EXPECT_LT(a.MaxAbsDiff(a2), 1e-10);
+}
+
+TEST(SvdTest, RankKErrorEqualsTailSingularValues) {
+  Rng rng(9);
+  Matrix a = RandomGaussianMatrix(20, 6, &rng);
+  SvdResult svd = ThinSVD(a);
+  const size_t k = 3;
+  Matrix ak = RankKApproximation(a, k);
+  Matrix diff = a;
+  diff.Subtract(ak);
+  double tail = 0.0;
+  for (size_t i = k; i < svd.sigma.size(); ++i) {
+    tail += svd.sigma[i] * svd.sigma[i];
+  }
+  EXPECT_NEAR(diff.SquaredFrobeniusNorm(), tail, 1e-7 * tail);
+}
+
+TEST(SvdTest, ZeroMatrixHasZeroSigma) {
+  Matrix a(4, 3);
+  SvdResult svd = ThinSVD(a);
+  for (double s : svd.sigma) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(SvdTest, NormAlongTopSingularVectorIsSigmaSquared) {
+  Rng rng(21);
+  Matrix a = RandomGaussianMatrix(50, 12, &rng);
+  SvdResult svd = ThinSVD(a);
+  std::vector<double> v1 = svd.v.ColVector(0);
+  EXPECT_NEAR(a.SquaredNormAlong(v1), svd.sigma[0] * svd.sigma[0],
+              1e-7 * svd.sigma[0] * svd.sigma[0]);
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dmt

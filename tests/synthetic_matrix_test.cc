@@ -1,0 +1,79 @@
+#include "data/synthetic_matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/svd.h"
+#include "linalg/vec_ops.h"
+
+namespace dmt {
+namespace data {
+namespace {
+
+TEST(SyntheticMatrixTest, RowDimensionAndNormBound) {
+  SyntheticMatrixConfig cfg;
+  cfg.dim = 16;
+  cfg.latent_rank = 4;
+  cfg.beta = 9.0;
+  SyntheticMatrixGenerator gen(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<double> row = gen.Next();
+    ASSERT_EQ(row.size(), 16u);
+    EXPECT_LE(linalg::SquaredNorm(row), 9.0 + 1e-9);
+  }
+}
+
+TEST(SyntheticMatrixTest, DeterministicForSeed) {
+  SyntheticMatrixConfig cfg;
+  cfg.seed = 123;
+  SyntheticMatrixGenerator g1(cfg), g2(cfg);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(g1.Next(), g2.Next());
+  }
+}
+
+TEST(SyntheticMatrixTest, PamapLikeIsLowRank) {
+  SyntheticMatrixGenerator gen(SyntheticMatrixGenerator::PamapLike(1));
+  linalg::Matrix a = gen.Take(3000);
+  linalg::RightSingular rs = linalg::RightSingularOf(a);
+  double total = 0.0, head = 0.0;
+  for (size_t i = 0; i < rs.squared_sigma.size(); ++i) {
+    total += rs.squared_sigma[i];
+    if (i < 30) head += rs.squared_sigma[i];
+  }
+  // Rank-30 captures essentially all the energy (paper: "low rank").
+  EXPECT_GT(head / total, 0.999);
+}
+
+TEST(SyntheticMatrixTest, MsdLikeIsHighRank) {
+  SyntheticMatrixGenerator gen(SyntheticMatrixGenerator::MsdLike(2));
+  linalg::Matrix a = gen.Take(3000);
+  linalg::RightSingular rs = linalg::RightSingularOf(a);
+  double total = 0.0, head = 0.0;
+  for (size_t i = 0; i < rs.squared_sigma.size(); ++i) {
+    total += rs.squared_sigma[i];
+    if (i < 50) head += rs.squared_sigma[i];
+  }
+  // Rank-50 leaves a visible residual (paper: "high rank").
+  EXPECT_LT(head / total, 0.99);
+  EXPECT_GT(head / total, 0.5);
+}
+
+TEST(SyntheticMatrixTest, PaperShapesMatch) {
+  EXPECT_EQ(SyntheticMatrixGenerator::PamapLike(1).dim, 44u);
+  EXPECT_EQ(SyntheticMatrixGenerator::MsdLike(1).dim, 90u);
+}
+
+TEST(SyntheticMatrixTest, TakeShape) {
+  SyntheticMatrixConfig cfg;
+  cfg.dim = 8;
+  SyntheticMatrixGenerator gen(cfg);
+  linalg::Matrix m = gen.Take(17);
+  EXPECT_EQ(m.rows(), 17u);
+  EXPECT_EQ(m.cols(), 8u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dmt

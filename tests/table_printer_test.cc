@@ -1,0 +1,56 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace {
+
+TEST(TablePrinterTest, RendersTitleHeaderAndRows) {
+  TablePrinter t("My Table");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"33", "44"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("44"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter t("");
+  t.SetHeader({"col", "x"});
+  t.AddRow({"longvalue", "1"});
+  std::string s = t.ToString();
+  // The header's "x" must be positioned past the widest cell of column 0.
+  size_t header_x = s.find("x");
+  size_t longvalue = s.find("longvalue");
+  EXPECT_NE(header_x, std::string::npos);
+  EXPECT_NE(longvalue, std::string::npos);
+  EXPECT_GT(header_x, 9u);
+}
+
+TEST(TablePrinterTest, EmptyTitleOmitsTitleLine) {
+  TablePrinter t("");
+  t.AddRow({"only"});
+  std::string s = t.ToString();
+  EXPECT_EQ(s.find("=="), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDoubleRegimes) {
+  EXPECT_EQ(TablePrinter::FormatDouble(0.0), "0");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.5), "0.5000");
+  EXPECT_EQ(TablePrinter::FormatDouble(1.0e-5), "1.0000e-05");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.5e7), "2.5000e+07");
+  EXPECT_EQ(TablePrinter::FormatDouble(12345.0), "12345");
+}
+
+TEST(TablePrinterTest, RaggedRowsDoNotCrash) {
+  TablePrinter t("r");
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  t.AddRow({"1", "2", "3"});
+  EXPECT_FALSE(t.ToString().empty());
+}
+
+}  // namespace
+}  // namespace dmt

@@ -1,0 +1,78 @@
+#include "hh/total_weight.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stream/router.h"
+#include "util/rng.h"
+
+namespace dmt {
+namespace hh {
+namespace {
+
+TEST(TotalWeightTest, BootstrapsOnFirstObservation) {
+  stream::Network net(4);
+  TotalWeightTracker t(&net);
+  EXPECT_DOUBLE_EQ(t.EstimateAtSites(), 0.0);
+  t.Observe(0, 2.5);
+  EXPECT_GT(t.EstimateAtSites(), 0.0);
+}
+
+// Property sweep: W-hat <= W <= 2 W-hat once bootstrapped, for any mix of
+// sites and weights.
+class TotalWeightInvariantTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(TotalWeightInvariantTest, TwoApproximationInvariant) {
+  auto [m, seed] = GetParam();
+  stream::Network net(m);
+  TotalWeightTracker t(&net);
+  stream::Router router(m, stream::RoutingPolicy::kUniform, seed);
+  Rng rng(seed);
+  double true_weight = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    double w = 1.0 + 9.0 * rng.NextDouble();
+    true_weight += w;
+    t.Observe(router.NextSite(), w);
+    const double what = t.EstimateAtSites();
+    ASSERT_GT(what, 0.0);
+    ASSERT_LE(what, true_weight + 1e-9) << "W-hat must lower-bound W";
+    ASSERT_GE(2.0 * what, true_weight - 1e-9) << "W <= 2 W-hat violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TotalWeightInvariantTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 4, 16, 64),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(TotalWeightTest, MessageCountLogarithmic) {
+  const size_t m = 10;
+  stream::Network net(m);
+  TotalWeightTracker t(&net);
+  stream::Router router(m, stream::RoutingPolicy::kUniform, 7);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) t.Observe(router.NextSite(), 1.0);
+  // O(m log W) scalar messages: far below one per item.
+  EXPECT_LT(net.stats().scalar_up, static_cast<uint64_t>(n / 10));
+  EXPECT_GT(net.stats().broadcast_events, 3u);
+  EXPECT_LT(net.stats().broadcast_events, 100u);
+}
+
+TEST(TotalWeightTest, CoordinatorWeightLowerBoundsTruth) {
+  stream::Network net(3);
+  TotalWeightTracker t(&net);
+  double truth = 0.0;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    double w = 1.0 + rng.NextDouble();
+    truth += w;
+    t.Observe(i % 3, w);
+    ASSERT_LE(t.coordinator_weight(), truth + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hh
+}  // namespace dmt

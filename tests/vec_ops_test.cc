@@ -1,0 +1,66 @@
+#include "linalg/vec_ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace linalg {
+namespace {
+
+TEST(VecOpsTest, DotBasic) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VecOpsTest, DotEmpty) {
+  std::vector<double> a, b;
+  EXPECT_DOUBLE_EQ(Dot(a, b), 0.0);
+}
+
+TEST(VecOpsTest, SquaredNormMatchesDotWithSelf) {
+  std::vector<double> a{1.5, -2.5, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), Dot(a, a));
+}
+
+TEST(VecOpsTest, NormOfUnitAxis) {
+  std::vector<double> e{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(Norm(e), 1.0);
+}
+
+TEST(VecOpsTest, AxpyAccumulates) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  Axpy(3.0, x.data(), y.data(), 2);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(VecOpsTest, ScaleInPlace) {
+  std::vector<double> x{2.0, -4.0};
+  Scale(0.5, x.data(), 2);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(VecOpsTest, NormalizeReturnsPriorNormAndUnitResult) {
+  std::vector<double> x{3.0, 4.0};
+  double prior = Normalize(&x);
+  EXPECT_DOUBLE_EQ(prior, 5.0);
+  EXPECT_NEAR(Norm(x), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+  EXPECT_DOUBLE_EQ(x[1], 0.8);
+}
+
+TEST(VecOpsTest, NormalizeZeroVectorIsNoop) {
+  std::vector<double> x{0.0, 0.0, 0.0};
+  double prior = Normalize(&x);
+  EXPECT_DOUBLE_EQ(prior, 0.0);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dmt

@@ -1,0 +1,78 @@
+#include "data/zipf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace data {
+namespace {
+
+TEST(ZipfTest, WeightsWithinBetaRange) {
+  ZipfianStream z(100, 2.0, 50.0, 1);
+  for (int i = 0; i < 5000; ++i) {
+    WeightedItem item = z.Next();
+    EXPECT_GE(item.weight, 1.0);
+    EXPECT_LE(item.weight, 50.0);
+    EXPECT_LT(item.element, 100u);
+  }
+}
+
+TEST(ZipfTest, BetaOneMeansUnitWeights) {
+  ZipfianStream z(10, 2.0, 1.0, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(z.Next().weight, 1.0);
+}
+
+TEST(ZipfTest, FrequenciesDecreaseWithRank) {
+  ZipfianStream z(1000, 2.0, 1.0, 3);
+  std::vector<int> counts(1000, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.Next().element];
+  // Element 0 should have ~ 4x element 1 (skew 2 => ratio 2^2).
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 4.0, 1.0);
+  EXPECT_GT(counts[1], counts[3]);
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfianStream z(10, 0.0, 1.0, 4);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Next().element];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(ZipfTest, TakeReturnsRequestedCount) {
+  ZipfianStream z(50, 2.0, 10.0, 5);
+  auto items = z.Take(123);
+  EXPECT_EQ(items.size(), 123u);
+}
+
+TEST(ExactWeightsTest, TallyAndHeavyHitters) {
+  ExactWeights ew;
+  ew.Observe({1, 60.0});
+  ew.Observe({2, 30.0});
+  ew.Observe({3, 10.0});
+  EXPECT_DOUBLE_EQ(ew.total_weight(), 100.0);
+  EXPECT_DOUBLE_EQ(ew.Weight(1), 60.0);
+  EXPECT_DOUBLE_EQ(ew.Weight(42), 0.0);
+
+  auto hh = ew.HeavyHitters(0.25);
+  ASSERT_EQ(hh.size(), 2u);
+  EXPECT_EQ(hh[0], 1u);
+  EXPECT_EQ(hh[1], 2u);
+}
+
+TEST(ExactWeightsTest, HeavyHittersOfZipfStreamAreHeadElements) {
+  ZipfianStream z(10000, 2.0, 1000.0, 6);
+  ExactWeights ew;
+  for (int i = 0; i < 100000; ++i) ew.Observe(z.Next());
+  auto hh = ew.HeavyHitters(0.05);
+  ASSERT_FALSE(hh.empty());
+  // With skew 2, the heavy hitters are the very first elements.
+  for (uint64_t e : hh) EXPECT_LT(e, 10u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dmt
