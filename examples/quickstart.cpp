@@ -2,7 +2,7 @@
 // coordinator's continuous approximation against the exact covariance.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
 #include <cstdio>
 

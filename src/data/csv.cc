@@ -1,5 +1,7 @@
 #include "data/csv.h"
 
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -8,6 +10,25 @@
 
 namespace dmt {
 namespace data {
+namespace {
+
+// Parses `cell` as a double, requiring the whole cell to be consumed modulo
+// surrounding whitespace (so "12abc" is rejected rather than read as 12.0).
+// Empty, all-whitespace, overflowing, and non-finite ("inf"/"nan") cells are
+// rejected: experiments expect finite matrix entries.
+bool ParseCell(const std::string& cell, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  // isfinite covers overflow too (strtod returns +-inf); underflowed
+  // subnormals are fine and deliberately not rejected via errno.
+  if (end == cell.c_str() || !std::isfinite(v)) return false;
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 linalg::Matrix LoadCsv(const std::string& path, char delimiter,
                        size_t max_rows) {
@@ -24,10 +45,9 @@ linalg::Matrix LoadCsv(const std::string& path, char delimiter,
     std::string cell;
     bool bad = false;
     while (std::getline(ss, cell, delimiter)) {
-      char* end = nullptr;
-      double v = std::strtod(cell.c_str(), &end);
-      if (end == cell.c_str()) {
-        bad = true;  // non-numeric cell (e.g. a header line)
+      double v = 0.0;
+      if (!ParseCell(cell, &v)) {
+        bad = true;  // non- or partially-numeric cell (e.g. a header line)
         break;
       }
       row.push_back(v);

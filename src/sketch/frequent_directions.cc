@@ -40,12 +40,30 @@ void FrequentDirections::Merge(const FrequentDirections& other) {
   if (other.dim_ == 0) return;
   if (dim_ == 0) dim_ = other.dim_;
   DMT_CHECK_EQ(dim_, other.dim_);
-  for (size_t i = 0; i < other.buffer_.rows(); ++i) {
-    buffer_.AppendRow(other.buffer_.Row(i), dim_);
-    ShrinkIfNeeded();
+  // Bulk-append the other sketch's rows, then shrink once. One SVD of the
+  // (at most 4*ell-row) combined buffer restores the <= 2*ell invariant,
+  // versus up to one SVD per ell_ appended rows on the row-at-a-time path.
+  // The FD guarantee is unaffected: errors are additive under merge and the
+  // single shrink's cutoff is accounted in total_shrinkage_ as usual.
+  //
+  // Self-merge aliases buffer_ with the append target (the row count would
+  // grow under the loop and Row(i) dangles on reallocation), so append from
+  // a copy in that case.
+  linalg::Matrix self_copy;
+  const linalg::Matrix* rows = &other.buffer_;
+  if (&other == this) {
+    self_copy = buffer_;
+    rows = &self_copy;
   }
-  stream_sq_frob_ += other.stream_sq_frob_;
-  total_shrinkage_ += other.total_shrinkage_;
+  const double other_sq_frob = other.stream_sq_frob_;
+  const double other_shrinkage = other.total_shrinkage_;
+  const size_t n = rows->rows();
+  for (size_t i = 0; i < n; ++i) {
+    buffer_.AppendRow(rows->Row(i), dim_);
+  }
+  ShrinkIfNeeded();  // may bump total_shrinkage_, hence the snapshots above
+  stream_sq_frob_ += other_sq_frob;
+  total_shrinkage_ += other_shrinkage;
 }
 
 void FrequentDirections::ShrinkIfNeeded() {

@@ -1,5 +1,7 @@
 #include "util/env.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace dmt {
@@ -14,8 +16,13 @@ int64_t GetEnvInt(const char* name, int64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   long long parsed = std::strtoll(v, &end, 10);
-  if (end == v) return fallback;
+  // Reject partial parses ("12abc"), overflow, and all-whitespace values;
+  // trailing whitespace alone is tolerated.
+  if (end == v || errno == ERANGE) return fallback;
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return fallback;
   return static_cast<int64_t>(parsed);
 }
 

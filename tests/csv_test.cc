@@ -54,6 +54,69 @@ TEST_F(CsvTest, AlternateDelimiter) {
   EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
 }
 
+// Regression: "12abc" used to parse as 12.0 because only a zero-character
+// parse was rejected; a partially-numeric cell must invalidate the row.
+TEST_F(CsvTest, RejectsPartialNumericCells) {
+  WriteFile("1,2,3\n4,12abc,6\n7,8,9\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST_F(CsvTest, RejectsPartialNumericFirstCell) {
+  WriteFile("3.5e2x,2\n1,2\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+}
+
+TEST_F(CsvTest, AcceptsCellsPaddedWithWhitespace) {
+  WriteFile(" 1 ,\t2,3 \n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST_F(CsvTest, TrailingDelimiterDoesNotAddAColumn) {
+  WriteFile("1,2,3,\n4,5,6,\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST_F(CsvTest, RejectsNonFiniteAndOverflowingCells) {
+  WriteFile("1,1e999,3\ninf,5,6\n7,nan,9\n10,11,12\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 10.0);
+}
+
+TEST_F(CsvTest, AcceptsSubnormalValues) {
+  WriteFile("1,1e-310,3\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 1u);
+  EXPECT_GT(m(0, 1), 0.0);
+  EXPECT_LT(m(0, 1), 1e-300);
+}
+
+TEST_F(CsvTest, SkipsRowsWithEmptyInteriorCells) {
+  WriteFile("1,,3\n4,5,6\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 4.0);
+}
+
+TEST_F(CsvTest, HandlesCrlfLineEndings) {
+  WriteFile("1,2,3\r\n4,5,6\r\n\r\n7,8,9\r\n");
+  linalg::Matrix m = LoadCsv(path_);
+  ASSERT_EQ(m.rows(), 3u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 7.0);
+}
+
 TEST(CsvMissingFileTest, ReturnsEmptyMatrix) {
   linalg::Matrix m = LoadCsv("/nonexistent/definitely_missing.csv");
   EXPECT_TRUE(m.empty());

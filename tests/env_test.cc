@@ -1,0 +1,86 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace dmt {
+namespace {
+
+constexpr const char* kVar = "DMT_ENV_TEST_VAR";
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ::unsetenv(kVar); }
+  void TearDown() override { ::unsetenv(kVar); }
+  void Set(const char* value) { ::setenv(kVar, value, /*overwrite=*/1); }
+};
+
+TEST_F(EnvTest, StringFallsBackWhenUnsetOrEmpty) {
+  EXPECT_EQ(GetEnvString(kVar, "fb"), "fb");
+  Set("");
+  EXPECT_EQ(GetEnvString(kVar, "fb"), "fb");
+  Set("value");
+  EXPECT_EQ(GetEnvString(kVar, "fb"), "value");
+}
+
+TEST_F(EnvTest, IntParsesWellFormedValues) {
+  Set("42");
+  EXPECT_EQ(GetEnvInt(kVar, -1), 42);
+  Set("-7");
+  EXPECT_EQ(GetEnvInt(kVar, -1), -7);
+  Set("  13");
+  EXPECT_EQ(GetEnvInt(kVar, -1), 13);
+  Set("13 ");
+  EXPECT_EQ(GetEnvInt(kVar, -1), 13);
+}
+
+TEST_F(EnvTest, IntFallsBackWhenUnsetOrEmpty) {
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+  Set("");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+}
+
+// Regression: "12abc" used to parse as 12 because only a zero-character
+// parse was rejected; a partial parse must yield the fallback.
+TEST_F(EnvTest, IntFallsBackOnPartialParse) {
+  Set("12abc");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+  Set("3.5");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+  Set("7 up");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+}
+
+TEST_F(EnvTest, IntFallsBackOnGarbage) {
+  Set("abc");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+  Set("   ");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+  Set("-");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+}
+
+TEST_F(EnvTest, IntFallsBackOnOutOfRange) {
+  Set("999999999999999999999999999");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+  Set("-999999999999999999999999999");
+  EXPECT_EQ(GetEnvInt(kVar, 99), 99);
+}
+
+TEST_F(EnvTest, ScaleSelection) {
+  ::setenv("DMT_SCALE", "small", 1);
+  EXPECT_EQ(GetScale(), Scale::kSmall);
+  EXPECT_EQ(ScaledN(1000, 10, 100), 10);
+  ::setenv("DMT_SCALE", "paper", 1);
+  EXPECT_EQ(GetScale(), Scale::kPaper);
+  EXPECT_EQ(ScaledN(1000, 10, 100), 1000);
+  ::setenv("DMT_SCALE", "bogus", 1);
+  EXPECT_EQ(GetScale(), Scale::kDefault);
+  EXPECT_EQ(ScaledN(1000, 10, 100), 100);
+  ::unsetenv("DMT_SCALE");
+  EXPECT_EQ(GetScale(), Scale::kDefault);
+}
+
+}  // namespace
+}  // namespace dmt

@@ -133,6 +133,105 @@ TEST(FrequentDirectionsTest, MergePreservesCombinedBound) {
                    stacked.SquaredFrobeniusNorm());
 }
 
+// Merge bulk-appends the other sketch's buffer and shrinks once. When the
+// combined buffers fit under 2*ell no shrink runs at all, and the merge must
+// be exactly a concatenation with additive accounting.
+TEST(FrequentDirectionsTest, MergeWithoutShrinkIsExactConcatenation) {
+  const size_t ell = 8;
+  Rng rng(9);
+  Matrix a1 = linalg::RandomGaussianMatrix(7, 5, &rng);
+  Matrix a2 = linalg::RandomGaussianMatrix(8, 5, &rng);
+  FrequentDirections f1(ell), f2(ell);
+  f1.AppendRows(a1);
+  f2.AppendRows(a2);
+  const double pre_ssf = f1.stream_squared_frobenius();
+  const double pre_shrinkage = f1.total_shrinkage() + f2.total_shrinkage();
+  const size_t pre_shrinks = f1.shrink_count();
+
+  f1.Merge(f2);  // 7 + 8 = 15 rows < 2*ell: no shrink may fire.
+
+  EXPECT_EQ(f1.shrink_count(), pre_shrinks);
+  EXPECT_EQ(f1.rows(), 15u);
+  EXPECT_DOUBLE_EQ(f1.stream_squared_frobenius(),
+                   pre_ssf + f2.stream_squared_frobenius());
+  EXPECT_DOUBLE_EQ(f1.total_shrinkage(), pre_shrinkage);
+  for (size_t i = 0; i < a1.rows(); ++i) {
+    for (size_t j = 0; j < a1.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(f1.sketch()(i, j), a1(i, j));
+    }
+  }
+  for (size_t i = 0; i < a2.rows(); ++i) {
+    for (size_t j = 0; j < a2.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(f1.sketch()(a1.rows() + i, j), a2(i, j));
+    }
+  }
+}
+
+// Regression for the row-at-a-time merge: merging two near-full sketches
+// used to trigger up to one SVD shrink per ell_ appended rows; the bulk path
+// must run at most ONE shrink while keeping the same error accounting
+// (stream_sq_frob_ exactly additive, total_shrinkage_ within the FD bound).
+TEST(FrequentDirectionsTest, MergeRunsAtMostOneShrinkWithSameBounds) {
+  const size_t ell = 6;
+  Rng rng(10);
+  Matrix a1 = linalg::RandomGaussianMatrix(150, 8, &rng);
+  Matrix a2 = linalg::RandomGaussianMatrix(150, 8, &rng);
+  FrequentDirections f1(ell), f2(ell);
+  f1.AppendRows(a1);
+  f2.AppendRows(a2);
+  // Both buffers near capacity so the merge is forced over 2*ell.
+  ASSERT_GE(f1.rows() + f2.rows(), 2 * ell);
+  const double pre_ssf =
+      f1.stream_squared_frobenius() + f2.stream_squared_frobenius();
+  const double pre_shrinkage = f1.total_shrinkage() + f2.total_shrinkage();
+  const size_t pre_shrinks = f1.shrink_count();
+
+  f1.Merge(f2);
+
+  EXPECT_EQ(f1.shrink_count(), pre_shrinks + 1);
+  EXPECT_LT(f1.rows(), 2 * ell);
+  EXPECT_DOUBLE_EQ(f1.stream_squared_frobenius(), pre_ssf);
+  // The single merge shrink only adds its own cutoff on top of the parts'.
+  EXPECT_GE(f1.total_shrinkage(), pre_shrinkage);
+  EXPECT_LE(f1.total_shrinkage(),
+            f1.stream_squared_frobenius() / static_cast<double>(ell + 1));
+  // Directional guarantee against the stacked raw stream still holds with
+  // total_shrinkage_ as the undercount certificate.
+  Matrix stacked = a1;
+  for (size_t i = 0; i < a2.rows(); ++i) {
+    stacked.AppendRow(a2.Row(i), a2.cols());
+  }
+  EXPECT_LE(MaxUndercount(stacked, f1), f1.total_shrinkage() + 1e-8);
+  EXPECT_GE(MinUndercount(stacked, f1),
+            -1e-8 * stacked.SquaredFrobeniusNorm());
+}
+
+TEST(FrequentDirectionsTest, SelfMergeDoublesTheSketch) {
+  const size_t ell = 6;
+  Rng rng(11);
+  Matrix a = linalg::RandomGaussianMatrix(40, 5, &rng);
+  FrequentDirections fd(ell);
+  fd.AppendRows(a);
+  const double pre_ssf = fd.stream_squared_frobenius();
+  const double pre_shrinkage = fd.total_shrinkage();
+
+  fd.Merge(fd);
+
+  EXPECT_LT(fd.rows(), 2 * ell);
+  EXPECT_DOUBLE_EQ(fd.stream_squared_frobenius(), 2.0 * pre_ssf);
+  EXPECT_GE(fd.total_shrinkage(), 2.0 * pre_shrinkage);
+  EXPECT_LE(fd.total_shrinkage(),
+            fd.stream_squared_frobenius() / static_cast<double>(ell + 1));
+  // The doubled stream is A stacked on A; the guarantee must hold for it.
+  Matrix stacked = a;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    stacked.AppendRow(a.Row(i), a.cols());
+  }
+  EXPECT_LE(MaxUndercount(stacked, fd), fd.total_shrinkage() + 1e-8);
+  EXPECT_GE(MinUndercount(stacked, fd),
+            -1e-8 * stacked.SquaredFrobeniusNorm());
+}
+
 TEST(FrequentDirectionsTest, LowRankInputRecoveredNearlyExactly) {
   // Rank-2 stream, sketch of 8 rows: error should be ~0 (FD only sheds
   // mass when forced, and rank 2 fits comfortably).

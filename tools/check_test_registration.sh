@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fails if any tests/*_test.cc file exists without a registered CMake test
+# target. Wired into CTest as `check_test_registration` (see CMakeLists.txt):
+# at configure time CMake writes the list of test sources it registered to
+# <build>/registered_tests.txt, and this script diffs that list against the
+# tests/ directory on disk. Guards against suites being silently dropped if
+# test registration ever moves from a glob to an explicit list (or a stale
+# build directory hides a newly added suite).
+#
+# Usage: check_test_registration.sh <repo_root> <registered_tests.txt>
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <repo_root> <registered_tests.txt>" >&2
+  exit 2
+fi
+
+repo_root=$1
+registered_list=$2
+
+if [[ ! -d "${repo_root}/tests" ]]; then
+  echo "FAIL: ${repo_root}/tests is not a directory" >&2
+  exit 1
+fi
+if [[ ! -f "${registered_list}" ]]; then
+  echo "FAIL: registered-test list ${registered_list} not found" \
+       "(re-run the CMake configure step)" >&2
+  exit 1
+fi
+
+status=0
+while IFS= read -r test_src; do
+  [[ -z "${test_src}" ]] && continue
+  if ! grep -Fxq "${test_src}" "${registered_list}"; then
+    echo "FAIL: ${test_src} has no registered CMake test target" >&2
+    echo "      (stale build directory? re-run cmake to pick it up)" >&2
+    status=1
+  fi
+done < <(find "${repo_root}/tests" -maxdepth 1 -name '*_test.cc' | sort)
+
+if [[ ${status} -eq 0 ]]; then
+  count=$(grep -c . "${registered_list}" || true)
+  echo "OK: all $(find "${repo_root}/tests" -maxdepth 1 -name '*_test.cc' | wc -l)" \
+       "test sources registered (${count} targets)"
+fi
+exit ${status}

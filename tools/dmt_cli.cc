@@ -1,8 +1,7 @@
 // dmt_cli — run any tracking protocol over CSV or synthetic data.
 //
 // Examples:
-//   dmt_cli --mode=matrix --protocol=P2 --eps=0.1 --sites=50 \
-//           --synthetic=pamap --rows=100000
+//   dmt_cli --mode=matrix --protocol=P2 --eps=0.1 --sites=50 --synthetic=pamap --rows=100000
 //   dmt_cli --mode=matrix --protocol=P3 --input=features.csv --eps=0.05
 //   dmt_cli --mode=hh --protocol=P2 --eps=0.001 --rows=1000000 --phi=0.05
 //
