@@ -5,6 +5,11 @@
 // the metrics of Section 6 — recall / precision / avg relative error of
 // true heavy hitters / message counts for the HH experiments, and
 // covariance error / message counts for the matrix experiments.
+//
+// Streams are materialized once and protocols run through the parallel
+// stream::SimulationDriver: site-local sketch work uses all configured
+// threads (--threads flag / DMT_THREADS env, default hardware concurrency)
+// while results stay bit-identical across thread counts.
 #ifndef DMT_BENCH_BENCH_UTIL_H_
 #define DMT_BENCH_BENCH_UTIL_H_
 
@@ -31,11 +36,18 @@
 #include "matrix/mp3_sampling.h"
 #include "matrix/mp4_experimental.h"
 #include "stream/router.h"
+#include "stream/simulation_driver.h"
 #include "util/env.h"
 #include "util/table_printer.h"
 
 namespace dmt {
 namespace bench {
+
+/// Parses a `--threads N` / `--threads=N` flag; 0 (flag absent) lets the
+/// driver resolve DMT_THREADS / hardware concurrency.
+inline size_t ParseThreadsFlag(int argc, char** argv) {
+  return stream::ParseThreadsArg(argc, argv);
+}
 
 // ---------------------------------------------------------------------
 // Heavy hitters.
@@ -57,6 +69,10 @@ struct HhExperimentConfig {
   double beta = 1000.0;
   double phi = 0.05;
   uint64_t seed = 1;
+  /// Site-phase worker threads (0 = DMT_THREADS / hardware concurrency).
+  size_t threads = 0;
+  /// Arrivals between coordinator synchronization rounds.
+  size_t chunk_elements = 8192;
 };
 
 inline std::unique_ptr<hh::HeavyHitterProtocol> MakeHhProtocol(
@@ -82,16 +98,26 @@ inline std::vector<HhMetrics> RunHhExperiment(
                                        epsilons[i], cfg.seed + 100 + i));
   }
 
+  // Materialize the stream + assignment once; every protocol then runs
+  // over the identical (site, element) sequence on the parallel driver.
   data::ZipfianStream z(cfg.universe, cfg.skew, cfg.beta, cfg.seed);
   stream::Router router(cfg.num_sites, stream::RoutingPolicy::kUniform,
                         cfg.seed + 1);
   data::ExactWeights truth;
+  std::vector<stream::WeightedUpdate> items(cfg.stream_len);
   for (size_t i = 0; i < cfg.stream_len; ++i) {
     data::WeightedItem item = z.Next();
     truth.Observe(item);
-    const size_t site = router.NextSite();
-    for (auto& p : protocols) p->Process(site, item.element, item.weight);
+    items[i] = stream::WeightedUpdate{item.element, item.weight};
   }
+  const std::vector<size_t> sites =
+      stream::AssignSites(&router, cfg.stream_len);
+
+  stream::SimulationOptions driver_opt;
+  driver_opt.threads = cfg.threads;
+  driver_opt.chunk_elements = cfg.chunk_elements;
+  stream::SimulationDriver driver(driver_opt);
+  for (auto& p : protocols) driver.Run(p.get(), sites, items);
 
   const auto truth_hh = truth.HeavyHitters(cfg.phi);
   std::vector<HhMetrics> out;
@@ -140,6 +166,10 @@ struct MatrixExperimentConfig {
   size_t stream_len = 100000;
   size_t num_sites = 50;
   uint64_t seed = 1;
+  /// Site-phase worker threads (0 = DMT_THREADS / hardware concurrency).
+  size_t threads = 0;
+  /// Rows between coordinator synchronization rounds.
+  size_t chunk_elements = 4096;
 };
 
 struct MatrixProtocolSpec {
@@ -187,12 +217,19 @@ inline std::vector<MatrixMetrics> RunMatrixExperiment(
   stream::Router router(cfg.num_sites, stream::RoutingPolicy::kUniform,
                         cfg.seed + 2);
   matrix::CovarianceTracker truth(cfg.generator.dim);
+  std::vector<std::vector<double>> rows(cfg.stream_len);
   for (size_t i = 0; i < cfg.stream_len; ++i) {
-    std::vector<double> row = gen.Next();
-    truth.AddRow(row);
-    const size_t site = router.NextSite();
-    for (auto& p : protocols) p->ProcessRow(site, row);
+    rows[i] = gen.Next();
+    truth.AddRow(rows[i]);
   }
+  const std::vector<size_t> sites =
+      stream::AssignSites(&router, cfg.stream_len);
+
+  stream::SimulationOptions driver_opt;
+  driver_opt.threads = cfg.threads;
+  driver_opt.chunk_elements = cfg.chunk_elements;
+  stream::SimulationDriver driver(driver_opt);
+  for (auto& p : protocols) driver.Run(p.get(), sites, rows);
 
   std::vector<MatrixMetrics> out;
   for (size_t i = 0; i < protocols.size(); ++i) {

@@ -14,7 +14,7 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmt;
   using namespace dmt::bench;
 
@@ -23,6 +23,11 @@ int main() {
   base.num_sites = 50;
   base.beta = 1000.0;
   base.phi = 0.05;
+  // Site-phase parallelism; results are thread-count invariant (but do
+  // depend on --chunk, which is part of the simulated schedule).
+  base.threads = ParseThreadsFlag(argc, argv);
+  base.chunk_elements =
+      dmt::stream::ParseChunkArg(argc, argv, base.chunk_elements);
 
   const std::vector<std::string> protos{"P1", "P2", "P3", "P4"};
   const std::vector<double> eps_values{5e-4, 1e-3, 5e-3, 1e-2, 5e-2};

@@ -12,7 +12,7 @@
 namespace {
 
 void RunDataset(const char* label, dmt::data::SyntheticMatrixConfig gen,
-                size_t paper_n) {
+                size_t paper_n, size_t threads, size_t chunk) {
   using namespace dmt;
   using namespace dmt::bench;
 
@@ -21,6 +21,8 @@ void RunDataset(const char* label, dmt::data::SyntheticMatrixConfig gen,
   cfg.stream_len = static_cast<size_t>(ScaledN(
       static_cast<int64_t>(paper_n), 6, 60));
   cfg.num_sites = 50;
+  cfg.threads = threads;
+  cfg.chunk_elements = chunk;
 
   TablePrinter t(std::string("Figure 4: messages vs err, ") + label +
                  " (N=" + std::to_string(cfg.stream_len) + ")");
@@ -40,11 +42,14 @@ void RunDataset(const char* label, dmt::data::SyntheticMatrixConfig gen,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using dmt::data::SyntheticMatrixGenerator;
+  const size_t threads = dmt::bench::ParseThreadsFlag(argc, argv);
+  const size_t chunk = dmt::stream::ParseChunkArg(argc, argv, 4096);
   std::printf("Figure 4: communication cost vs approximation error\n\n");
   RunDataset("(a) PAMAP-like", SyntheticMatrixGenerator::PamapLike(42),
-             629250);
-  RunDataset("(b) MSD-like", SyntheticMatrixGenerator::MsdLike(43), 300000);
+             629250, threads, chunk);
+  RunDataset("(b) MSD-like", SyntheticMatrixGenerator::MsdLike(43), 300000,
+             threads, chunk);
   return 0;
 }

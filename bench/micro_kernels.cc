@@ -3,14 +3,18 @@
 // own performance.
 #include <benchmark/benchmark.h>
 
+#include "data/synthetic_matrix.h"
 #include "data/zipf.h"
+#include "hh/p2_threshold.h"
 #include "linalg/jacobi_eigen.h"
 #include "linalg/spectral.h"
+#include "matrix/mp1_batched_fd.h"
 #include "sketch/count_min.h"
 #include "sketch/frequent_directions.h"
 #include "sketch/misra_gries.h"
 #include "sketch/priority_sampler.h"
 #include "sketch/space_saving.h"
+#include "stream/simulation_driver.h"
 #include "util/rng.h"
 
 namespace {
@@ -98,5 +102,57 @@ void BM_ZipfianNext(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfianNext)->Arg(10000)->Arg(1000000);
+
+// ---------------------------------------------------------------------
+// Parallel simulation driver: end-to-end site-phase throughput at a given
+// thread count (range(0)). Results are thread-count invariant; only the
+// wall clock moves.
+// ---------------------------------------------------------------------
+
+void BM_SimulationDriverHhP2(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t kN = 200000;
+  const size_t kSites = 32;
+  data::ZipfianStream z(100000, 1.5, 100.0, 9);
+  std::vector<stream::WeightedUpdate> items(kN);
+  for (auto& it : items) {
+    data::WeightedItem w = z.Next();
+    it = stream::WeightedUpdate{w.element, w.weight};
+  }
+  stream::Router router(kSites, stream::RoutingPolicy::kUniform, 10);
+  const std::vector<size_t> sites = stream::AssignSites(&router, kN);
+
+  // The driver (and its thread pool) lives across iterations; only the
+  // protocol run is timed, not pthread creation.
+  stream::SimulationDriver driver(stream::SimulationOptions{threads, 8192});
+  for (auto _ : state) {
+    hh::P2Threshold p(kSites, 0.01);
+    driver.Run(&p, sites, items);
+    benchmark::DoNotOptimize(p.comm_stats().total());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SimulationDriverHhP2)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SimulationDriverMp1(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t kN = 20000;
+  const size_t kSites = 32;
+  data::SyntheticMatrixGenerator gen(
+      data::SyntheticMatrixGenerator::PamapLike(11));
+  std::vector<std::vector<double>> rows(kN);
+  for (auto& r : rows) r = gen.Next();
+  stream::Router router(kSites, stream::RoutingPolicy::kUniform, 12);
+  const std::vector<size_t> sites = stream::AssignSites(&router, kN);
+
+  stream::SimulationDriver driver(stream::SimulationOptions{threads, 4096});
+  for (auto _ : state) {
+    matrix::MP1BatchedFD p(kSites, 0.1);
+    driver.Run(&p, sites, rows);
+    benchmark::DoNotOptimize(p.comm_stats().total());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SimulationDriverMp1)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace

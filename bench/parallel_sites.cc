@@ -1,0 +1,150 @@
+// Serial-vs-parallel speedup of the multi-site simulation engine.
+//
+// Runs a fixed heavy-hitter workload (P2) and a fixed matrix workload
+// (MP1, the FD-heavy site phase) through stream::SimulationDriver at
+// 1/2/4/8 threads, verifies the runs are bit-identical (total message
+// count acts as the cheap fingerprint; the full guarantee is covered by
+// tests/simulation_driver_test), and reports wall-clock speedups as JSON.
+//
+// Usage: parallel_sites [output.json] [--threads ignored]
+//   DMT_SCALE=small|default|paper scales the stream lengths.
+// The JSON is printed to stdout and, when a path is given, written there
+// (the repo keeps a checked-in BENCH_parallel_sites.json).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic_matrix.h"
+#include "data/zipf.h"
+#include "hh/p2_threshold.h"
+#include "matrix/mp1_batched_fd.h"
+#include "stream/router.h"
+#include "stream/simulation_driver.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dmt;
+
+struct RunPoint {
+  size_t threads;
+  double seconds;
+  uint64_t messages;
+};
+
+// Best-of-3 wall clock for one driver configuration.
+template <typename MakeProtocol, typename Items>
+RunPoint TimeRun(MakeProtocol make, const std::vector<size_t>& sites,
+                 const Items& items, size_t threads, size_t chunk) {
+  RunPoint point{threads, 1e100, 0};
+  for (int rep = 0; rep < 3; ++rep) {
+    auto protocol = make();
+    stream::SimulationDriver driver(
+        stream::SimulationOptions{threads, chunk});
+    Timer timer;
+    driver.Run(&protocol, sites, items);
+    const double s = timer.Seconds();
+    if (s < point.seconds) point.seconds = s;
+    point.messages = protocol.comm_stats().total();
+  }
+  return point;
+}
+
+void PrintWorkload(FILE* f, const char* name, size_t n, size_t m,
+                   const std::vector<RunPoint>& points, bool last) {
+  std::fprintf(f, "    \"%s\": {\n", name);
+  std::fprintf(f, "      \"stream_len\": %zu,\n", n);
+  std::fprintf(f, "      \"num_sites\": %zu,\n", m);
+  std::fprintf(f, "      \"messages\": %llu,\n",
+               static_cast<unsigned long long>(points[0].messages));
+  std::fprintf(f, "      \"runs\": [\n");
+  const double serial = points[0].seconds;
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(
+        f,
+        "        {\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.3f}%s\n",
+        points[i].threads, points[i].seconds, serial / points[i].seconds,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "      ]\n");
+  std::fprintf(f, "    }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') out_path = argv[i];
+  }
+
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  // Heavy hitters: P2 over a Zipf stream (hash-map bound site phase).
+  const size_t hh_n = static_cast<size_t>(ScaledN(4000000, 2, 40));
+  const size_t hh_m = 32;
+  data::ZipfianStream z(100000, 1.5, 100.0, 21);
+  std::vector<stream::WeightedUpdate> items(hh_n);
+  for (auto& it : items) {
+    data::WeightedItem w = z.Next();
+    it = stream::WeightedUpdate{w.element, w.weight};
+  }
+  stream::Router hh_router(hh_m, stream::RoutingPolicy::kUniform, 22);
+  const std::vector<size_t> hh_sites = stream::AssignSites(&hh_router, hh_n);
+
+  std::vector<RunPoint> hh_points;
+  for (size_t t : thread_counts) {
+    hh_points.push_back(TimeRun(
+        [&] { return hh::P2Threshold(hh_m, 0.01); }, hh_sites, items, t,
+        8192));
+    DMT_CHECK_EQ(hh_points.back().messages, hh_points.front().messages);
+  }
+
+  // Matrix: MP1 over a PAMAP-like row stream (FD compute bound site phase).
+  const size_t mx_n = static_cast<size_t>(ScaledN(120000, 2, 40));
+  const size_t mx_m = 32;
+  data::SyntheticMatrixGenerator gen(
+      data::SyntheticMatrixGenerator::PamapLike(23));
+  std::vector<std::vector<double>> rows(mx_n);
+  for (auto& r : rows) r = gen.Next();
+  stream::Router mx_router(mx_m, stream::RoutingPolicy::kUniform, 24);
+  const std::vector<size_t> mx_sites = stream::AssignSites(&mx_router, mx_n);
+
+  std::vector<RunPoint> mx_points;
+  for (size_t t : thread_counts) {
+    mx_points.push_back(TimeRun(
+        [&] { return matrix::MP1BatchedFD(mx_m, 0.1); }, mx_sites, rows, t,
+        4096));
+    DMT_CHECK_EQ(mx_points.back().messages, mx_points.front().messages);
+  }
+
+  const auto print_all = [&](FILE* f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"parallel_sites\",\n");
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"scale\": \"%s\",\n",
+                 GetEnvString("DMT_SCALE", "default").c_str());
+    std::fprintf(f, "  \"determinism_check\": \"messages identical across "
+                 "thread counts\",\n");
+    std::fprintf(f, "  \"workloads\": {\n");
+    PrintWorkload(f, "hh_p2_zipf", hh_n, hh_m, hh_points, false);
+    PrintWorkload(f, "matrix_mp1_pamap", mx_n, mx_m, mx_points, true);
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+  };
+
+  print_all(stdout);
+  if (out_path != nullptr) {
+    FILE* f = std::fopen(out_path, "w");
+    DMT_CHECK(f != nullptr);
+    print_all(f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  }
+  return 0;
+}

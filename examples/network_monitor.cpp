@@ -11,6 +11,12 @@
 // through, the traffic pattern shifts (a new dominant subspace); the
 // monitor detects the rotation of the top principal direction within a
 // few thousand flows.
+//
+// Flows arrive in batches of 5000 and are pushed through the parallel
+// simulation driver (--threads N, default DMT_THREADS / hardware
+// concurrency): every monitor's local sampling runs concurrently, queries
+// happen at batch boundaries, and the output is identical for any thread
+// count.
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -20,6 +26,7 @@
 #include "linalg/svd.h"
 #include "linalg/vec_ops.h"
 #include "stream/router.h"
+#include "stream/simulation_driver.h"
 
 namespace {
 
@@ -32,7 +39,7 @@ std::vector<double> TopDirection(const dmt::linalg::Matrix& gram) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const size_t kMonitors = 16;
   const size_t kDim = 32;
   dmt::MatrixTrackerConfig cfg;
@@ -57,31 +64,39 @@ int main() {
   dmt::stream::Router router(kMonitors,
                              dmt::stream::RoutingPolicy::kUniform, 3);
 
-  const size_t kFlows = 40000;
+  const size_t kFlows = 80000;
   const size_t kShiftAt = kFlows / 2;
+  const size_t kBatch = 5000;  // flows between queries / sync points
   std::vector<double> baseline_direction;
 
+  dmt::stream::SimulationOptions driver_opt;
+  driver_opt.threads = dmt::stream::ParseThreadsArg(argc, argv);
+  driver_opt.chunk_elements = 1024;
+  dmt::stream::SimulationDriver driver(driver_opt);
+
   std::printf("traffic matrix monitor: %zu vantage points, d=%zu, "
-              "regime shift at flow %zu\n\n",
-              kMonitors, kDim, kShiftAt);
+              "regime shift at flow %zu, %zu site threads\n\n",
+              kMonitors, kDim, kShiftAt, driver.threads());
   std::printf("%10s  %22s  %12s\n", "flows", "|cos(top dir, baseline)|",
               "messages");
 
-  for (size_t i = 0; i < kFlows; ++i) {
-    std::vector<double> flow =
-        (i < kShiftAt) ? gen_a.Next() : gen_b.Next();
-    tracker.Append(router.NextSite(), flow);
-
-    if ((i + 1) % 5000 == 0) {
-      std::vector<double> dir = TopDirection(tracker.SketchGram());
-      if (baseline_direction.empty()) baseline_direction = dir;
-      const double cosine =
-          std::fabs(dmt::linalg::Dot(dir, baseline_direction));
-      std::printf("%10zu  %22.4f  %12llu%s\n", i + 1, cosine,
-                  static_cast<unsigned long long>(
-                      tracker.comm_stats().total()),
-                  cosine < 0.7 ? "   <-- drift detected" : "");
+  for (size_t done = 0; done < kFlows; done += kBatch) {
+    std::vector<std::vector<double>> flows(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      flows[i] = (done + i < kShiftAt) ? gen_a.Next() : gen_b.Next();
     }
+    const std::vector<size_t> sites =
+        dmt::stream::AssignSites(&router, kBatch);
+    tracker.AppendBatch(&driver, sites, flows);
+
+    std::vector<double> dir = TopDirection(tracker.SketchGram());
+    if (baseline_direction.empty()) baseline_direction = dir;
+    const double cosine =
+        std::fabs(dmt::linalg::Dot(dir, baseline_direction));
+    std::printf("%10zu  %22.4f  %12llu%s\n", done + kBatch, cosine,
+                static_cast<unsigned long long>(
+                    tracker.comm_stats().total()),
+                cosine < 0.7 ? "   <-- drift detected" : "");
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "hh/p2_threshold.h"
 #include "hh/p3_sampling.h"
 #include "hh/p4_randomized.h"
+#include "stream/simulation_driver.h"
 #include "util/check.h"
 
 namespace dmt {
@@ -47,6 +48,14 @@ void ContinuousHeavyHitterTracker::Observe(size_t site, uint64_t element,
   DMT_CHECK_LT(site, config_.num_sites);
   protocol_->Process(site, element, weight);
   ++items_seen_;
+}
+
+void ContinuousHeavyHitterTracker::ObserveBatch(
+    stream::SimulationDriver* driver, const std::vector<size_t>& sites,
+    const std::vector<stream::WeightedUpdate>& items) {
+  for (size_t site : sites) DMT_CHECK_LT(site, config_.num_sites);
+  driver->Run(protocol_.get(), sites, items);
+  items_seen_ += items.size();
 }
 
 double ContinuousHeavyHitterTracker::EstimateWeight(uint64_t element) const {

@@ -21,6 +21,10 @@
 #include "hh/hh_protocol.h"
 
 namespace dmt {
+namespace stream {
+class SimulationDriver;
+struct WeightedUpdate;
+}  // namespace stream
 
 /// Continuous distributed weighted heavy-hitter tracker.
 class ContinuousHeavyHitterTracker {
@@ -35,6 +39,13 @@ class ContinuousHeavyHitterTracker {
   /// Feeds one weighted element observed at `site`. `weight` > 0; the
   /// paper's analysis assumes weights in [1, beta].
   void Observe(size_t site, uint64_t element, double weight);
+
+  /// Feeds a batch of weighted elements through the parallel simulation
+  /// driver: items[i] arrives at sites[i]. Deterministic for a fixed
+  /// driver configuration regardless of thread count.
+  void ObserveBatch(stream::SimulationDriver* driver,
+                    const std::vector<size_t>& sites,
+                    const std::vector<stream::WeightedUpdate>& items);
 
   /// Estimate of element's cumulative weight.
   double EstimateWeight(uint64_t element) const;

@@ -7,6 +7,7 @@
 #include "matrix/mp2_svd_threshold.h"
 #include "matrix/mp3_sampling.h"
 #include "matrix/mp4_experimental.h"
+#include "stream/simulation_driver.h"
 #include "util/check.h"
 
 namespace dmt {
@@ -46,6 +47,14 @@ void ContinuousMatrixTracker::Append(size_t site,
   DMT_CHECK_LT(site, config_.num_sites);
   protocol_->ProcessRow(site, row);
   ++rows_seen_;
+}
+
+void ContinuousMatrixTracker::AppendBatch(
+    stream::SimulationDriver* driver, const std::vector<size_t>& sites,
+    const std::vector<std::vector<double>>& rows) {
+  for (size_t site : sites) DMT_CHECK_LT(site, config_.num_sites);
+  driver->Run(protocol_.get(), sites, rows);
+  rows_seen_ += rows.size();
 }
 
 linalg::Matrix ContinuousMatrixTracker::Sketch() const {

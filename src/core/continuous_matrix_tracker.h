@@ -27,6 +27,9 @@
 #include "matrix/matrix_protocol.h"
 
 namespace dmt {
+namespace stream {
+class SimulationDriver;
+}  // namespace stream
 
 /// Continuous distributed matrix approximation tracker.
 class ContinuousMatrixTracker {
@@ -39,6 +42,15 @@ class ContinuousMatrixTracker {
 
   /// Feeds one matrix row observed at `site` (0-based, < num_sites).
   void Append(size_t site, const std::vector<double>& row);
+
+  /// Feeds a batch of rows through the parallel simulation driver:
+  /// rows[i] arrives at sites[i]. Site-local sketch work runs on the
+  /// driver's thread pool; coordinator interactions happen at the driver's
+  /// synchronization rounds. Results are deterministic for a fixed driver
+  /// configuration regardless of thread count.
+  void AppendBatch(stream::SimulationDriver* driver,
+                   const std::vector<size_t>& sites,
+                   const std::vector<std::vector<double>>& rows);
 
   /// Current coordinator approximation B (rows stacked).
   linalg::Matrix Sketch() const;

@@ -3,12 +3,30 @@
 namespace dmt {
 namespace hh {
 
-ExactTracker::ExactTracker(size_t num_sites) : network_(num_sites) {}
+ExactTracker::ExactTracker(size_t num_sites)
+    : network_(num_sites), outbox_(num_sites) {}
 
 void ExactTracker::Process(size_t site, uint64_t element, double weight) {
   network_.RecordElement(site);
   weights_[element] += weight;
   total_ += weight;
+}
+
+void ExactTracker::SiteUpdate(size_t site, uint64_t element, double weight) {
+  network_.RecordElement(site);
+  outbox_[site].emplace_back(element, weight);
+}
+
+void ExactTracker::DrainSite(size_t site) {
+  for (const auto& [element, weight] : outbox_[site]) {
+    weights_[element] += weight;
+    total_ += weight;
+  }
+  outbox_[site].clear();
+}
+
+void ExactTracker::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
 double ExactTracker::EstimateElementWeight(uint64_t element) const {

@@ -8,6 +8,8 @@
 #include <cstddef>
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "hh/hh_protocol.h"
 #include "stream/network.h"
@@ -21,14 +23,25 @@ class ExactTracker : public HeavyHitterProtocol {
   explicit ExactTracker(size_t num_sites);
 
   void Process(size_t site, uint64_t element, double weight) override;
+  void SiteUpdate(size_t site, uint64_t element, double weight) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "Exact"; }
   std::vector<uint64_t> TrackedElements() const override;
 
  private:
+  /// Delivers one site's queued forwards in emission order.
+  void DrainSite(size_t site);
+
   stream::Network network_;
+  // Per-site queue of forwarded (element, weight) pairs.
+  std::vector<std::vector<std::pair<uint64_t, double>>> outbox_;
   std::unordered_map<uint64_t, double> weights_;
   double total_ = 0.0;
 };

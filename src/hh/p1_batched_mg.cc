@@ -1,5 +1,7 @@
 #include "hh/p1_batched_mg.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace dmt {
@@ -18,22 +20,30 @@ P1BatchedMG::P1BatchedMG(size_t num_sites, double eps)
   }
   site_weight_.assign(num_sites, 0.0);
   site_west_.assign(num_sites, 0.0);
+  outbox_.resize(num_sites);
 }
 
 void P1BatchedMG::Process(size_t site, uint64_t element, double weight) {
+  SiteUpdate(site, element, weight);
+  DrainSite(site);  // only this site can have queued anything
+}
+
+void P1BatchedMG::SiteUpdate(size_t site, uint64_t element, double weight) {
   DMT_CHECK_LT(site, site_summaries_.size());
   DMT_CHECK_GT(weight, 0.0);
   site_summaries_[site].Update(element, weight);
   site_weight_[site] += weight;
 
   const double m = static_cast<double>(network_.num_sites());
+  // site_west_ is the W-hat from the last broadcast the site has seen; it
+  // only changes in Synchronize(), so this read is round-stable.
   const double tau = (eps_ / (2.0 * m)) * site_west_[site];
   // Before the first broadcast tau is 0 and every item triggers a flush;
   // this is the bootstrap the paper leaves implicit.
-  if (site_weight_[site] >= tau) FlushSite(site);
+  if (site_weight_[site] >= tau) EmitFlush(site);
 }
 
-void P1BatchedMG::FlushSite(size_t site) {
+void P1BatchedMG::EmitFlush(size_t site) {
   // Message cost: every live counter travels as an (element, weight) pair;
   // the scalar W_i piggybacks on the batch (Algorithm 4.1 ships "(G_i,
   // W_i)" as one payload). An empty summary still costs the scalar.
@@ -42,10 +52,17 @@ void P1BatchedMG::FlushSite(size_t site) {
   }
   if (site_summaries_[site].size() == 0) network_.RecordScalar(site);
 
-  coordinator_summary_.Merge(site_summaries_[site]);
-  coordinator_weight_ += site_weight_[site];
+  // Move, don't copy: Clear() below fully re-initializes the moved-from
+  // summary (k is untouched by the move; counters/weights are reset).
+  outbox_[site].push_back(
+      PendingFlush{std::move(site_summaries_[site]), site_weight_[site]});
   site_summaries_[site].Clear();
   site_weight_[site] = 0.0;
+}
+
+void P1BatchedMG::ApplyFlush(const PendingFlush& flush) {
+  coordinator_summary_.Merge(flush.summary);
+  coordinator_weight_ += flush.weight;
 
   if (broadcast_weight_ == 0.0 ||
       coordinator_weight_ / broadcast_weight_ > 1.0 + eps_ / 2.0) {
@@ -54,6 +71,15 @@ void P1BatchedMG::FlushSite(size_t site) {
     network_.RecordRound();
     for (auto& w : site_west_) w = broadcast_weight_;
   }
+}
+
+void P1BatchedMG::DrainSite(size_t site) {
+  for (const PendingFlush& flush : outbox_[site]) ApplyFlush(flush);
+  outbox_[site].clear();
+}
+
+void P1BatchedMG::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
 double P1BatchedMG::EstimateElementWeight(uint64_t element) const {

@@ -30,14 +30,32 @@ class P1BatchedMG : public HeavyHitterProtocol {
   P1BatchedMG(size_t num_sites, double eps);
 
   void Process(size_t site, uint64_t element, double weight) override;
+  void SiteUpdate(size_t site, uint64_t element, double weight) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P1"; }
   std::vector<uint64_t> TrackedElements() const override;
 
  private:
-  void FlushSite(size_t site);
+  /// A site's shipped batch awaiting coordinator delivery: the snapshot of
+  /// its MG summary plus the local weight W_i since the previous flush.
+  struct PendingFlush {
+    sketch::WeightedMisraGries summary;
+    double weight;
+  };
+
+  // Site half of a flush (messages + outbox + site reset).
+  void EmitFlush(size_t site);
+  // Delivers one site's queued flushes in emission order.
+  void DrainSite(size_t site);
+  // Coordinator half (merge + W_C + possible W-hat broadcast).
+  void ApplyFlush(const PendingFlush& flush);
 
   double eps_;
   stream::Network network_;
@@ -45,6 +63,7 @@ class P1BatchedMG : public HeavyHitterProtocol {
   std::vector<sketch::WeightedMisraGries> site_summaries_;
   std::vector<double> site_weight_;    // W_i since last flush
   std::vector<double> site_west_;      // W-hat as known by the site
+  std::vector<std::vector<PendingFlush>> outbox_;  // per-site, FIFO
   // Coordinator state.
   sketch::WeightedMisraGries coordinator_summary_;
   double coordinator_weight_ = 0.0;    // W_C

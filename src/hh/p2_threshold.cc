@@ -12,6 +12,7 @@ P2Threshold::P2Threshold(size_t num_sites, double eps,
   DMT_CHECK_LE(eps, 1.0);
   site_weight_.assign(num_sites, 0.0);
   site_west_.assign(num_sites, 0.0);
+  outbox_.resize(num_sites);
   if (options_.site_counters > 0) {
     site_summary_.reserve(num_sites);
     for (size_t i = 0; i < num_sites; ++i) {
@@ -24,6 +25,14 @@ P2Threshold::P2Threshold(size_t num_sites, double eps,
 }
 
 void P2Threshold::Process(size_t site, uint64_t element, double weight) {
+  // Both thresholds below compare against the same pre-report W-hat, so
+  // deferring coordinator delivery to the end of the element is exactly
+  // the historical immediate-delivery behavior.
+  SiteUpdate(site, element, weight);
+  DrainSite(site);  // only this site can have queued anything
+}
+
+void P2Threshold::SiteUpdate(size_t site, uint64_t element, double weight) {
   DMT_CHECK_LT(site, site_weight_.size());
   DMT_CHECK_GT(weight, 0.0);
   const double m = static_cast<double>(network_.num_sites());
@@ -40,20 +49,16 @@ void P2Threshold::Process(size_t site, uint64_t element, double weight) {
     delta = (site_delta_[site][element] += weight);
   }
 
+  // site_west_ only changes at Synchronize(), so the threshold is stable
+  // for the whole round.
   const double threshold = (eps_ / m) * site_west_[site];
 
   // Scalar (total-weight) report. With W-hat == 0 (bootstrap) the
   // threshold is 0 and the report happens immediately.
   if (site_weight_[site] >= threshold) {
     network_.RecordScalar(site);
-    coordinator_total_ += site_weight_[site];
+    outbox_[site].push_back(PendingReport{true, site_weight_[site], 0});
     site_weight_[site] = 0.0;
-    if (++scalar_msgs_since_broadcast_ >= network_.num_sites()) {
-      scalar_msgs_since_broadcast_ = 0;
-      network_.RecordBroadcast();
-      network_.RecordRound();
-      for (auto& w : site_west_) w = coordinator_total_;
-    }
   }
 
   // Element report.
@@ -65,15 +70,36 @@ void P2Threshold::Process(size_t site, uint64_t element, double weight) {
           delta - site_summary_[site].ErrorBound(element);
       if (certain > 0.0) {
         network_.RecordElement(site);
-        coordinator_weights_[element] += certain;
+        outbox_[site].push_back(PendingReport{false, certain, element});
         site_reported_[site][element] += certain;
       }
     } else {
       network_.RecordElement(site);
-      coordinator_weights_[element] += delta;
+      outbox_[site].push_back(PendingReport{false, delta, element});
       site_delta_[site].erase(element);
     }
   }
+}
+
+void P2Threshold::DrainSite(size_t site) {
+  for (const PendingReport& r : outbox_[site]) {
+    if (r.is_scalar) {
+      coordinator_total_ += r.value;
+      if (++scalar_msgs_since_broadcast_ >= network_.num_sites()) {
+        scalar_msgs_since_broadcast_ = 0;
+        network_.RecordBroadcast();
+        network_.RecordRound();
+        for (auto& w : site_west_) w = coordinator_total_;
+      }
+    } else {
+      coordinator_weights_[r.element] += r.value;
+    }
+  }
+  outbox_[site].clear();
+}
+
+void P2Threshold::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
 double P2Threshold::EstimateElementWeight(uint64_t element) const {

@@ -40,13 +40,31 @@ class P2Threshold : public HeavyHitterProtocol {
   P2Threshold(size_t num_sites, double eps, const P2Options& options = {});
 
   void Process(size_t site, uint64_t element, double weight) override;
+  void SiteUpdate(size_t site, uint64_t element, double weight) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P2"; }
   std::vector<uint64_t> TrackedElements() const override;
 
  private:
+  /// One queued site->coordinator report. Scalar (total-weight) and
+  /// element (delta) reports share a FIFO so delivery preserves the exact
+  /// emission order within a site.
+  struct PendingReport {
+    bool is_scalar;
+    double value;      // W_i for scalars, reported delta for elements
+    uint64_t element;  // only meaningful when !is_scalar
+  };
+
+  /// Delivers one site's queued reports in emission order.
+  void DrainSite(size_t site);
+
   double eps_;
   P2Options options_;
   stream::Network network_;
@@ -59,6 +77,7 @@ class P2Threshold : public HeavyHitterProtocol {
   // (only elements that crossed the threshold ever get an entry).
   std::vector<std::unordered_map<uint64_t, double>> site_reported_;
   std::vector<double> site_west_;    // W-hat known at the site
+  std::vector<std::vector<PendingReport>> outbox_;  // per-site, FIFO
   // Coordinator state.
   std::unordered_map<uint64_t, double> coordinator_weights_;
   double coordinator_total_ = 0.0;   // W-hat (grows with scalar reports)

@@ -21,7 +21,8 @@ P3SamplingWoR::P3SamplingWoR(size_t num_sites, double eps, uint64_t seed,
                              size_t sample_size)
     : s_(sample_size != 0 ? sample_size : SampleSizeForEpsilon(eps)),
       network_(num_sites),
-      rng_(seed) {
+      site_rngs_(MakeSiteRngs(num_sites, seed)),
+      outbox_(num_sites) {
   q_cur_.reserve(s_ + 1);
   q_next_.reserve(s_ + 1);
 }
@@ -31,17 +32,42 @@ void P3SamplingWoR::OnForward(size_t site, const sketch::PriorityEntry&) {
 }
 
 void P3SamplingWoR::Process(size_t site, uint64_t element, double weight) {
+  SiteUpdate(site, element, weight);
+  DrainSite(site);  // only this site can have queued anything
+}
+
+void P3SamplingWoR::SiteUpdate(size_t site, uint64_t element,
+                               double weight) {
+  DMT_CHECK_LT(site, site_rngs_.size());
   DMT_CHECK_GT(weight, 0.0);
   sketch::PriorityEntry e{element, weight,
-                          weight / rng_.NextDoublePositive()};
+                          weight / site_rngs_[site].NextDoublePositive()};
+  // tau_ only moves at Synchronize(); within a round every site compares
+  // against the threshold of the last broadcast, exactly like a real site
+  // that has not yet seen the next one.
   if (e.priority < tau_) return;  // not sampled; no message
   OnForward(site, e);
-  if (e.priority >= 2.0 * tau_) {
-    q_next_.push_back(e);
-    EndRoundIfNeeded();
-  } else {
-    q_cur_.push_back(e);
+  outbox_[site].push_back(e);
+}
+
+void P3SamplingWoR::DrainSite(size_t site) {
+  for (const sketch::PriorityEntry& e : outbox_[site]) {
+    // A message can arrive after tau doubled past it (sent before the
+    // broadcast of this round reached the site). The coordinator drops
+    // it: the pool invariant is "items with priority >= current tau".
+    if (e.priority < tau_) continue;
+    if (e.priority >= 2.0 * tau_) {
+      q_next_.push_back(e);
+      EndRoundIfNeeded();
+    } else {
+      q_cur_.push_back(e);
+    }
   }
+  outbox_[site].clear();
+}
+
+void P3SamplingWoR::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
 void P3SamplingWoR::EndRoundIfNeeded() {
@@ -102,13 +128,22 @@ P3SamplingWR::P3SamplingWR(size_t num_sites, double eps, uint64_t seed,
                            size_t sample_size)
     : s_(sample_size != 0 ? sample_size : SampleSizeForEpsilon(eps)),
       network_(num_sites),
-      rng_(seed),
+      site_rngs_(MakeSiteRngs(num_sites, seed)),
       slots_(s_),
-      slots_below_2tau_(s_) {}
+      slots_below_2tau_(s_),
+      outbox_(num_sites) {}
 
 void P3SamplingWR::Process(size_t site, uint64_t element, double weight) {
+  SiteUpdate(site, element, weight);
+  DrainSite(site);  // only this site can have queued anything
+}
+
+void P3SamplingWR::SiteUpdate(size_t site, uint64_t element, double weight) {
+  DMT_CHECK_LT(site, site_rngs_.size());
   DMT_CHECK_GT(weight, 0.0);
-  // Success probability per sampler: P[rho >= tau] = min(1, w/tau).
+  Rng& rng = site_rngs_[site];
+  // Success probability per sampler: P[rho >= tau] = min(1, w/tau), with
+  // tau the last broadcast threshold the site knows.
   const double p = std::min(1.0, weight / tau_);
   if (p <= 0.0) return;
 
@@ -117,38 +152,57 @@ void P3SamplingWR::Process(size_t site, uint64_t element, double weight) {
   if (p >= 1.0) {
     t = 0;
   } else {
-    t = static_cast<size_t>(std::log(rng_.NextDoublePositive()) /
+    t = static_cast<size_t>(std::log(rng.NextDoublePositive()) /
                             std::log(1.0 - p));
   }
-  bool sent_any = false;
+  PendingSends sends{element, weight, {}};
   while (t < s_) {
     // Priority conditioned on success: u ~ Unif(0, min(1, w/tau)].
-    const double u = rng_.NextDoublePositive() * p;
-    const double rho = weight / u;
-    Slot& slot = slots_[t];
-    if (rho > slot.top.priority) {
-      const double old_second = slot.second_priority;
-      slot.second_priority = slot.top.priority;
-      slot.top = sketch::PriorityEntry{element, weight, rho};
-      if (old_second <= 2.0 * tau_ && slot.second_priority > 2.0 * tau_) {
-        --slots_below_2tau_;
-      }
-    } else if (rho > slot.second_priority) {
-      if (slot.second_priority <= 2.0 * tau_ && rho > 2.0 * tau_) {
-        --slots_below_2tau_;
-      }
-      slot.second_priority = rho;
-    }
-    sent_any = true;
+    const double u = rng.NextDoublePositive() * p;
+    sends.hits.emplace_back(t, weight / u);
     network_.RecordElement(site);
     if (p >= 1.0) {
       ++t;
     } else {
-      t += 1 + static_cast<size_t>(std::log(rng_.NextDoublePositive()) /
+      t += 1 + static_cast<size_t>(std::log(rng.NextDoublePositive()) /
                                    std::log(1.0 - p));
     }
   }
-  if (sent_any) EndRoundIfNeeded();
+  if (!sends.hits.empty()) outbox_[site].push_back(std::move(sends));
+}
+
+void P3SamplingWR::ApplySlotUpdate(size_t t, uint64_t element, double weight,
+                                   double rho) {
+  Slot& slot = slots_[t];
+  if (rho > slot.top.priority) {
+    const double old_second = slot.second_priority;
+    slot.second_priority = slot.top.priority;
+    slot.top = sketch::PriorityEntry{element, weight, rho};
+    if (old_second <= 2.0 * tau_ && slot.second_priority > 2.0 * tau_) {
+      --slots_below_2tau_;
+    }
+  } else if (rho > slot.second_priority) {
+    if (slot.second_priority <= 2.0 * tau_ && rho > 2.0 * tau_) {
+      --slots_below_2tau_;
+    }
+    slot.second_priority = rho;
+  }
+}
+
+void P3SamplingWR::DrainSite(size_t site) {
+  for (const PendingSends& sends : outbox_[site]) {
+    for (const auto& [t, rho] : sends.hits) {
+      ApplySlotUpdate(t, sends.element, sends.weight, rho);
+    }
+    // One round check per element, matching the per-element serial
+    // schedule (a batch of hits for one element ends with one check).
+    EndRoundIfNeeded();
+  }
+  outbox_[site].clear();
+}
+
+void P3SamplingWR::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
 void P3SamplingWR::EndRoundIfNeeded() {

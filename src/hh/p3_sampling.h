@@ -42,9 +42,15 @@ class P3SamplingWoR : public HeavyHitterProtocol {
                 size_t sample_size = 0);
 
   void Process(size_t site, uint64_t element, double weight) override;
+  void SiteUpdate(size_t site, uint64_t element, double weight) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P3wor"; }
   std::vector<uint64_t> TrackedElements() const override;
 
@@ -61,13 +67,19 @@ class P3SamplingWoR : public HeavyHitterProtocol {
 
   size_t s_;
   stream::Network network_;
-  Rng rng_;
+  // One private generator per site (seed = base ⊕ site), so sites draw
+  // priorities independently and may run on concurrent threads.
+  std::vector<Rng> site_rngs_;
   double tau_ = 1.0;
   bool tau_ever_doubled_ = false;
   std::vector<sketch::PriorityEntry> q_cur_;
   std::vector<sketch::PriorityEntry> q_next_;
+  // Forwarded items awaiting coordinator bucketing (per-site, FIFO).
+  std::vector<std::vector<sketch::PriorityEntry>> outbox_;
 
  private:
+  /// Delivers one site's queued forwards in emission order.
+  void DrainSite(size_t site);
   void EndRoundIfNeeded();
 };
 
@@ -78,9 +90,15 @@ class P3SamplingWR : public HeavyHitterProtocol {
                size_t sample_size = 0);
 
   void Process(size_t site, uint64_t element, double weight) override;
+  void SiteUpdate(size_t site, uint64_t element, double weight) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P3wr"; }
   std::vector<uint64_t> TrackedElements() const override;
 
@@ -92,14 +110,29 @@ class P3SamplingWR : public HeavyHitterProtocol {
     double second_priority = 0.0;
   };
 
+  /// All sampler successes one element scored at one site: (slot index,
+  /// priority) pairs, delivered to the coordinator as one batch so round
+  /// accounting matches the per-element serial schedule.
+  struct PendingSends {
+    uint64_t element;
+    double weight;
+    std::vector<std::pair<size_t, double>> hits;
+  };
+
+  void ApplySlotUpdate(size_t t, uint64_t element, double weight,
+                       double rho);
+  /// Delivers one site's queued sampler successes in emission order.
+  void DrainSite(size_t site);
   void EndRoundIfNeeded();
 
   size_t s_;
   stream::Network network_;
-  Rng rng_;
+  // One private generator per site (seed = base ⊕ site); see P3SamplingWoR.
+  std::vector<Rng> site_rngs_;
   double tau_ = 1.0;
   std::vector<Slot> slots_;
   size_t slots_below_2tau_ = 0;  // count of slots with second <= 2 tau
+  std::vector<std::vector<PendingSends>> outbox_;  // per-site, FIFO
 };
 
 }  // namespace hh

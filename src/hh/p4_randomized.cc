@@ -14,9 +14,10 @@ P4Randomized::P4Randomized(size_t num_sites, double eps, uint64_t seed,
                            size_t copies)
     : eps_(eps),
       network_(num_sites),
-      rng_(seed),
+      site_rngs_(MakeSiteRngs(num_sites, seed)),
       weight_tracker_(&network_),
       site_tally_(num_sites),
+      outbox_(num_sites),
       reported_(std::max<size_t>(copies, 1)) {
   DMT_CHECK_GT(eps, 0.0);
   DMT_CHECK_LE(eps, 1.0);
@@ -29,23 +30,62 @@ double P4Randomized::CurrentP() const {
   return 2.0 * std::sqrt(m) / (eps_ * what);
 }
 
+void P4Randomized::EmitSends(size_t site, uint64_t element, double weight,
+                             double tally,
+                             std::vector<PendingReport>* sink) {
+  const double p = CurrentP();
+  const double send_prob =
+      std::isinf(p) ? 1.0 : 1.0 - std::exp(-p * weight);
+  // Each copy flips its own coin (all from the site's private generator);
+  // every success is one message.
+  for (size_t c = 0; c < reported_.size(); ++c) {
+    if (site_rngs_[site].NextDouble() < send_prob) {
+      network_.RecordElement(site);
+      if (sink != nullptr) {
+        sink->push_back(PendingReport{false, tally, c, element, site});
+      } else {
+        reported_[c][element][site] = tally;
+      }
+    }
+  }
+}
+
 void P4Randomized::Process(size_t site, uint64_t element, double weight) {
   DMT_CHECK_LT(site, site_tally_.size());
   DMT_CHECK_GT(weight, 0.0);
+  // Serial path: the weight report lands at the coordinator immediately,
+  // so a broadcast it triggers already lowers the send probability for
+  // this very arrival — the historical behavior.
   weight_tracker_.Observe(site, weight);
 
   double& tally = site_tally_[site][element];
   tally += weight;
+  EmitSends(site, element, weight, tally, /*sink=*/nullptr);
+}
 
-  const double p = CurrentP();
-  const double send_prob =
-      std::isinf(p) ? 1.0 : 1.0 - std::exp(-p * weight);
-  // Each copy flips its own coin; every success is one message.
-  for (auto& copy : reported_) {
-    if (rng_.NextDouble() < send_prob) {
-      network_.RecordElement(site);
-      copy[element][site] = tally;
+void P4Randomized::SiteUpdate(size_t site, uint64_t element, double weight) {
+  DMT_CHECK_LT(site, site_tally_.size());
+  DMT_CHECK_GT(weight, 0.0);
+  const double amount = weight_tracker_.SitePendingReport(site, weight);
+  if (amount > 0.0) {
+    outbox_[site].push_back(PendingReport{true, amount, 0, 0, site});
+  }
+
+  double& tally = site_tally_[site][element];
+  tally += weight;
+  EmitSends(site, element, weight, tally, &outbox_[site]);
+}
+
+void P4Randomized::Synchronize() {
+  for (auto& site_outbox : outbox_) {
+    for (const PendingReport& r : site_outbox) {
+      if (r.is_weight_report) {
+        weight_tracker_.ApplyReport(r.value);
+      } else {
+        reported_[r.copy][r.element][r.site] = r.value;
+      }
     }
+    site_outbox.clear();
   }
 }
 

@@ -39,26 +39,53 @@ class P4Randomized : public HeavyHitterProtocol {
                size_t copies = 1);
 
   void Process(size_t site, uint64_t element, double weight) override;
+  void SiteUpdate(size_t site, uint64_t element, double weight) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P4"; }
   std::vector<uint64_t> TrackedElements() const override;
 
  private:
+  /// One queued site->coordinator message: either a total-weight report
+  /// (amount) or a tally refresh for (copy, element, site).
+  struct PendingReport {
+    bool is_weight_report;
+    double value;    // reported weight, or the tally being refreshed
+    size_t copy;
+    uint64_t element;
+    size_t site;
+  };
+
   /// Current send probability parameter p = 2 sqrt(m) / (eps W-hat);
   /// infinite (send always) before bootstrap.
   double CurrentP() const;
+
+  /// Flips the per-copy coins for one arrival (success probability
+  /// 1 - exp(-p * weight)) with the site's generator, recording messages.
+  /// A success ships the site's full exact tally for `element`: queued
+  /// into `sink` if given, else applied to the coordinator immediately
+  /// (serial path).
+  void EmitSends(size_t site, uint64_t element, double weight, double tally,
+                 std::vector<PendingReport>* sink);
 
   /// Estimate of one independent copy.
   double CopyEstimate(size_t copy, uint64_t element) const;
 
   double eps_;
   stream::Network network_;
-  Rng rng_;
+  // One private generator per site (seed = base ⊕ site): all copies'
+  // coins for a site flip from that site's stream.
+  std::vector<Rng> site_rngs_;
   TotalWeightTracker weight_tracker_;
   // Per-site exact local tallies f_e(A_j), shared by all copies.
   std::vector<std::unordered_map<uint64_t, double>> site_tally_;
+  std::vector<std::vector<PendingReport>> outbox_;  // per-site, FIFO
   // Per-copy coordinator state: last reported tally w-bar_{e,j} per
   // element per site.
   std::vector<std::unordered_map<uint64_t, std::unordered_map<size_t, double>>>

@@ -8,7 +8,7 @@ namespace hh {
 TotalWeightTracker::TotalWeightTracker(stream::Network* network)
     : network_(network), unreported_(network->num_sites(), 0.0) {}
 
-bool TotalWeightTracker::Observe(size_t site, double weight) {
+double TotalWeightTracker::SitePendingReport(size_t site, double weight) {
   DMT_CHECK_LT(site, unreported_.size());
   DMT_CHECK_GE(weight, 0.0);
   unreported_[site] += weight;
@@ -18,12 +18,17 @@ bool TotalWeightTracker::Observe(size_t site, double weight) {
   // estimate becomes positive immediately.
   const double report_threshold = broadcast_estimate_ / (2.0 * m);
   if (unreported_[site] < report_threshold || unreported_[site] == 0.0) {
-    return false;
+    return 0.0;
   }
   network_->RecordScalar(site);
-  coordinator_weight_ += unreported_[site];
+  const double amount = unreported_[site];
   unreported_[site] = 0.0;
+  return amount;
+}
 
+bool TotalWeightTracker::ApplyReport(double amount) {
+  DMT_CHECK_GT(amount, 0.0);
+  coordinator_weight_ += amount;
   if (broadcast_estimate_ == 0.0 ||
       coordinator_weight_ >= 1.5 * broadcast_estimate_) {
     broadcast_estimate_ = coordinator_weight_;
@@ -32,6 +37,12 @@ bool TotalWeightTracker::Observe(size_t site, double weight) {
     return true;
   }
   return false;
+}
+
+bool TotalWeightTracker::Observe(size_t site, double weight) {
+  const double amount = SitePendingReport(site, weight);
+  if (amount <= 0.0) return false;
+  return ApplyReport(amount);
 }
 
 }  // namespace hh

@@ -7,6 +7,12 @@
 // estimate, and the coordinator re-broadcasts once its exact tally of
 // reported weight grows by a factor 1.5. Deterministic argument:
 //   W <= W_C + m * (W-hat / 2m) <= 1.5*W-hat + 0.5*W-hat = 2*W-hat.
+//
+// The site half (SitePendingReport) and coordinator half (ApplyReport) are
+// split so owning protocols can defer delivery to a synchronization round:
+// SitePendingReport touches only per-site state plus the site's network
+// shard and the (stable-between-rounds) broadcast estimate, so it may run
+// concurrently for distinct sites.
 #ifndef DMT_HH_TOTAL_WEIGHT_H_
 #define DMT_HH_TOTAL_WEIGHT_H_
 
@@ -26,8 +32,21 @@ class TotalWeightTracker {
   explicit TotalWeightTracker(stream::Network* network);
 
   /// Site `site` observed `weight` more stream mass. Returns true if the
-  /// global estimate changed (i.e. a broadcast happened).
+  /// global estimate changed (i.e. a broadcast happened). Serial path:
+  /// equivalent to SitePendingReport + immediate ApplyReport.
   bool Observe(size_t site, double weight);
+
+  /// Site half: folds `weight` into the site's unreported mass; when the
+  /// report threshold crosses, records the scalar message and returns the
+  /// reported amount (the site resets). Returns 0.0 when no report fires.
+  /// Safe to call concurrently for distinct sites between ApplyReport
+  /// batches.
+  double SitePendingReport(size_t site, double weight);
+
+  /// Coordinator half: folds a reported amount into the exact tally and
+  /// re-broadcasts when it grew enough. Returns true on broadcast. Must
+  /// not run concurrently with SitePendingReport.
+  bool ApplyReport(double amount);
 
   /// Site-visible estimate: W-hat <= W <= 2*W-hat once bootstrapped.
   double EstimateAtSites() const { return broadcast_estimate_; }

@@ -8,12 +8,24 @@ namespace dmt {
 namespace matrix {
 
 NaiveFdBaseline::NaiveFdBaseline(size_t num_sites, size_t ell)
-    : network_(num_sites), fd_(ell) {}
+    : network_(num_sites), outbox_(num_sites), fd_(ell) {}
 
 void NaiveFdBaseline::ProcessRow(size_t site,
                                  const std::vector<double>& row) {
   network_.RecordVector(site);
   fd_.Append(row);
+}
+
+void NaiveFdBaseline::SiteUpdate(size_t site, const std::vector<double>& row) {
+  network_.RecordVector(site);
+  outbox_[site].push_back(row);
+}
+
+void NaiveFdBaseline::Synchronize() {
+  for (auto& site_outbox : outbox_) {
+    for (const auto& row : site_outbox) fd_.Append(row);
+    site_outbox.clear();
+  }
 }
 
 linalg::Matrix NaiveFdBaseline::CoordinatorSketch() const {
@@ -25,12 +37,25 @@ const stream::CommStats& NaiveFdBaseline::comm_stats() const {
 }
 
 NaiveSvdBaseline::NaiveSvdBaseline(size_t num_sites, size_t dim, size_t k)
-    : k_(k), network_(num_sites), cov_(dim) {}
+    : k_(k), network_(num_sites), outbox_(num_sites), cov_(dim) {}
 
 void NaiveSvdBaseline::ProcessRow(size_t site,
                                   const std::vector<double>& row) {
   network_.RecordVector(site);
   cov_.AddRow(row);
+}
+
+void NaiveSvdBaseline::SiteUpdate(size_t site,
+                                  const std::vector<double>& row) {
+  network_.RecordVector(site);
+  outbox_[site].push_back(row);
+}
+
+void NaiveSvdBaseline::Synchronize() {
+  for (auto& site_outbox : outbox_) {
+    for (const auto& row : site_outbox) cov_.AddRow(row);
+    site_outbox.clear();
+  }
 }
 
 linalg::Matrix NaiveSvdBaseline::CoordinatorSketch() const {

@@ -22,12 +22,19 @@ class NaiveFdBaseline : public MatrixTrackingProtocol {
   NaiveFdBaseline(size_t num_sites, size_t ell);
 
   void ProcessRow(size_t site, const std::vector<double>& row) override;
+  void SiteUpdate(size_t site, const std::vector<double>& row) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   linalg::Matrix CoordinatorSketch() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "FD"; }
 
  private:
   stream::Network network_;
+  std::vector<std::vector<std::vector<double>>> outbox_;  // per-site rows
   sketch::FrequentDirections fd_;
 };
 
@@ -38,16 +45,23 @@ class NaiveSvdBaseline : public MatrixTrackingProtocol {
   NaiveSvdBaseline(size_t num_sites, size_t dim, size_t k);
 
   void ProcessRow(size_t site, const std::vector<double>& row) override;
+  void SiteUpdate(size_t site, const std::vector<double>& row) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   /// Rows sqrt(lambda_i) v_i^T for the top-k eigenpairs of A^T A: the
   /// unique B with B^T B = (A_k)^T A_k.
   linalg::Matrix CoordinatorSketch() const override;
   linalg::Matrix CoordinatorGram() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "SVD"; }
 
  private:
   size_t k_;
   stream::Network network_;
+  std::vector<std::vector<std::vector<double>>> outbox_;  // per-site rows
   CovarianceTracker cov_;
 };
 

@@ -21,8 +21,32 @@ class MatrixTrackingProtocol {
  public:
   virtual ~MatrixTrackingProtocol() = default;
 
-  /// Processes one row arriving at `site`.
+  /// Processes one row arriving at `site`. Serial entry point: any
+  /// triggered site->coordinator messages are delivered (and broadcasts
+  /// applied) before this returns.
   virtual void ProcessRow(size_t site, const std::vector<double>& row) = 0;
+
+  /// Site-local half of ProcessRow(): updates only state owned by `site`
+  /// (including that site's network shard) and queues outgoing messages in
+  /// a per-site outbox for the next Synchronize(). When
+  /// SupportsConcurrentSiteUpdates() is true, calls for *distinct* sites
+  /// may run concurrently between two Synchronize() calls; calls for the
+  /// same site must stay on one thread. Default: serial ProcessRow()
+  /// (correct, but not concurrency-safe).
+  virtual void SiteUpdate(size_t site, const std::vector<double>& row) {
+    ProcessRow(site, row);
+  }
+
+  /// Coordinator half: drains every site's outbox in ascending site order
+  /// (emission order within a site), applying merges and broadcasts. Must
+  /// run on a single thread with no concurrent SiteUpdate — the simulation
+  /// driver calls it at round boundaries. Default: no-op (matches the
+  /// default SiteUpdate, which delivers immediately).
+  virtual void Synchronize() {}
+
+  /// True when SiteUpdate() touches only per-site state and may therefore
+  /// run concurrently for distinct sites.
+  virtual bool SupportsConcurrentSiteUpdates() const { return false; }
 
   /// The coordinator's current approximation B (rows stacked).
   virtual linalg::Matrix CoordinatorSketch() const = 0;
@@ -35,6 +59,11 @@ class MatrixTrackingProtocol {
 
   /// Communication counters so far.
   virtual const stream::CommStats& comm_stats() const = 0;
+
+  /// Per-site upstream message counts (index = site id). Same
+  /// synchronization requirement as comm_stats(): call only between
+  /// rounds / after the run.
+  virtual std::vector<uint64_t> per_site_messages() const = 0;
 
   /// Short display name (e.g. "P2").
   virtual std::string name() const = 0;

@@ -1,5 +1,7 @@
 #include "matrix/mp1_batched_fd.h"
 
+#include <utility>
+
 #include "linalg/vec_ops.h"
 #include "util/check.h"
 
@@ -19,19 +21,27 @@ MP1BatchedFD::MP1BatchedFD(size_t num_sites, double eps)
   }
   site_frob_.assign(num_sites, 0.0);
   site_fest_.assign(num_sites, 0.0);
+  outbox_.resize(num_sites);
 }
 
 void MP1BatchedFD::ProcessRow(size_t site, const std::vector<double>& row) {
+  SiteUpdate(site, row);
+  DrainSite(site);  // only this site can have queued anything
+}
+
+void MP1BatchedFD::SiteUpdate(size_t site, const std::vector<double>& row) {
   DMT_CHECK_LT(site, site_sketches_.size());
   site_sketches_[site].Append(row);
   site_frob_[site] += linalg::SquaredNorm(row);
 
   const double m = static_cast<double>(network_.num_sites());
+  // site_fest_ is the F-hat of the last broadcast the site has seen; it
+  // only changes in Synchronize(), so this read is round-stable.
   const double tau = (eps_ / (2.0 * m)) * site_fest_[site];
-  if (site_frob_[site] >= tau) FlushSite(site);
+  if (site_frob_[site] >= tau) EmitFlush(site);
 }
 
-void MP1BatchedFD::FlushSite(size_t site) {
+void MP1BatchedFD::EmitFlush(size_t site) {
   sketch::FrequentDirections& sk = site_sketches_[site];
   // Each sketch row travels as one vector message; the scalar F_i
   // piggybacks on the batch (the paper's Algorithm 5.1 sends "(B_i, F_i)"
@@ -39,10 +49,15 @@ void MP1BatchedFD::FlushSite(size_t site) {
   for (size_t r = 0; r < sk.rows(); ++r) network_.RecordVector(site);
   if (sk.rows() == 0) network_.RecordScalar(site);
 
-  coordinator_sketch_.Merge(sk);
-  coordinator_frob_ += site_frob_[site];
-  sk = sketch::FrequentDirections::WithEpsilon(eps_ / 2, sk.dim());
+  const size_t dim = sk.dim();
+  outbox_[site].push_back(PendingFlush{std::move(sk), site_frob_[site]});
+  sk = sketch::FrequentDirections::WithEpsilon(eps_ / 2, dim);
   site_frob_[site] = 0.0;
+}
+
+void MP1BatchedFD::ApplyFlush(const PendingFlush& flush) {
+  coordinator_sketch_.Merge(flush.sketch);
+  coordinator_frob_ += flush.frob;
 
   if (broadcast_frob_ == 0.0 ||
       coordinator_frob_ / broadcast_frob_ > 1.0 + eps_ / 2.0) {
@@ -51,6 +66,15 @@ void MP1BatchedFD::FlushSite(size_t site) {
     network_.RecordRound();
     for (auto& f : site_fest_) f = broadcast_frob_;
   }
+}
+
+void MP1BatchedFD::DrainSite(size_t site) {
+  for (const PendingFlush& flush : outbox_[site]) ApplyFlush(flush);
+  outbox_[site].clear();
+}
+
+void MP1BatchedFD::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
 linalg::Matrix MP1BatchedFD::CoordinatorSketch() const {

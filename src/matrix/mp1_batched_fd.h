@@ -30,20 +30,39 @@ class MP1BatchedFD : public MatrixTrackingProtocol {
   MP1BatchedFD(size_t num_sites, double eps);
 
   void ProcessRow(size_t site, const std::vector<double>& row) override;
+  void SiteUpdate(size_t site, const std::vector<double>& row) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   linalg::Matrix CoordinatorSketch() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P1"; }
 
   double coordinator_frobenius() const { return coordinator_frob_; }
 
  private:
-  void FlushSite(size_t site);
+  /// A site's shipped batch awaiting coordinator delivery: the FD sketch
+  /// snapshot plus the squared Frobenius mass F_i since its last flush.
+  struct PendingFlush {
+    sketch::FrequentDirections sketch;
+    double frob;
+  };
+
+  // Site half of a flush (messages + outbox + site reset).
+  void EmitFlush(size_t site);
+  // Delivers one site's queued flushes in emission order.
+  void DrainSite(size_t site);
+  // Coordinator half (merge + F_C + possible F-hat broadcast).
+  void ApplyFlush(const PendingFlush& flush);
 
   double eps_;
   stream::Network network_;
   std::vector<sketch::FrequentDirections> site_sketches_;
   std::vector<double> site_frob_;   // F_i since last flush
   std::vector<double> site_fest_;   // F-hat as known by each site
+  std::vector<std::vector<PendingFlush>> outbox_;  // per-site, FIFO
   sketch::FrequentDirections coordinator_sketch_;
   double coordinator_frob_ = 0.0;   // F_C
   double broadcast_frob_ = 0.0;     // last broadcast F-hat

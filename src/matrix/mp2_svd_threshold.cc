@@ -10,50 +10,120 @@ namespace dmt {
 namespace matrix {
 
 MP2SvdThreshold::MP2SvdThreshold(size_t num_sites, double eps)
-    : eps_(eps), network_(num_sites), sites_(num_sites) {
+    : eps_(eps), network_(num_sites), sites_(num_sites),
+      outbox_(num_sites) {
   DMT_CHECK_GT(eps, 0.0);
   DMT_CHECK_LE(eps, 1.0);
 }
 
-void MP2SvdThreshold::ProcessRow(size_t site,
-                                 const std::vector<double>& row) {
-  DMT_CHECK_LT(site, sites_.size());
-  if (dim_ == 0) {
+void MP2SvdThreshold::EnsureDim(const std::vector<double>& row) {
+  // call_once doubles as the memory fence that publishes dim_ and the
+  // per-site matrices to every site thread.
+  std::call_once(dim_once_, [this, &row] {
     dim_ = row.size();
     coord_gram_ = linalg::Matrix(dim_, dim_);
     for (auto& st : sites_) {
       st.gram = linalg::Matrix(dim_, dim_);
       st.basis = linalg::Matrix::Identity(dim_);
     }
-  }
+  });
   DMT_CHECK_EQ(row.size(), dim_);
-  SiteState& st = sites_[site];
-  const double w = linalg::SquaredNorm(row);
-  const double m = static_cast<double>(network_.num_sites());
+}
 
+double MP2SvdThreshold::SiteScalarPhase(size_t site, double w) {
+  SiteState& st = sites_[site];
+  const double m = static_cast<double>(network_.num_sites());
   // Scalar total-mass report (Algorithm 5.3, first branch). Bootstrap:
   // F-hat == 0 makes the threshold 0, so the first row reports at once.
   st.scalar_counter += w;
   if (st.scalar_counter >= (eps_ / m) * st.fest) {
     network_.RecordScalar(site);
-    coord_fest_ += st.scalar_counter;
+    const double amount = st.scalar_counter;
     st.scalar_counter = 0.0;
-    if (++scalar_msgs_since_broadcast_ >= network_.num_sites()) {
-      scalar_msgs_since_broadcast_ = 0;
-      network_.RecordBroadcast();
-      network_.RecordRound();
-      for (auto& s : sites_) s.fest = coord_fest_;
-    }
+    return amount;
+  }
+  return 0.0;
+}
+
+void MP2SvdThreshold::ApplyScalar(double amount) {
+  coord_fest_ += amount;
+  if (++scalar_msgs_since_broadcast_ >= network_.num_sites()) {
+    scalar_msgs_since_broadcast_ = 0;
+    network_.RecordBroadcast();
+    network_.RecordRound();
+    for (auto& s : sites_) s.fest = coord_fest_;
+  }
+}
+
+void MP2SvdThreshold::EmitDirection(size_t site, double lam,
+                                    const std::vector<double>& v,
+                                    std::vector<PendingMsg>* sink) {
+  network_.RecordVector(site);
+  if (sink != nullptr) {
+    sink->push_back(PendingMsg{false, lam, v});
+  } else {
+    // sigma * v arrives at the coordinator and is appended to B.
+    coord_gram_.AddOuterProduct(lam, v);
+  }
+}
+
+void MP2SvdThreshold::ProcessRow(size_t site,
+                                 const std::vector<double>& row) {
+  DMT_CHECK_LT(site, sites_.size());
+  EnsureDim(row);
+  const double w = linalg::SquaredNorm(row);
+
+  // Serial path: the scalar report is delivered immediately, so a
+  // broadcast it triggers already raises this site's F-hat for the
+  // direction-threshold check below — the paper's per-row schedule.
+  const double amount = SiteScalarPhase(site, w);
+  if (amount > 0.0) ApplyScalar(amount);
+
+  ElementPhase(site, row, w, /*sink=*/nullptr);
+}
+
+void MP2SvdThreshold::SiteUpdate(size_t site,
+                                 const std::vector<double>& row) {
+  DMT_CHECK_LT(site, sites_.size());
+  EnsureDim(row);
+  const double w = linalg::SquaredNorm(row);
+
+  // Deferred path: the report is queued, so this round's direction
+  // threshold keeps the F-hat of the last Synchronize() — exactly what a
+  // real site knows before the next broadcast arrives. A stale (smaller)
+  // F-hat only lowers the threshold, which ships directions earlier: more
+  // communication, never more error (the bound is one-sided).
+  const double amount = SiteScalarPhase(site, w);
+  if (amount > 0.0) {
+    outbox_[site].push_back(PendingMsg{true, amount, {}});
   }
 
+  ElementPhase(site, row, w, &outbox_[site]);
+}
+
+void MP2SvdThreshold::Synchronize() {
+  for (auto& site_outbox : outbox_) {
+    for (const PendingMsg& msg : site_outbox) {
+      if (msg.is_scalar) {
+        ApplyScalar(msg.value);
+      } else {
+        coord_gram_.AddOuterProduct(msg.value, msg.dir);
+      }
+    }
+    site_outbox.clear();
+  }
+}
+
+void MP2SvdThreshold::ElementPhase(size_t site,
+                                   const std::vector<double>& row, double w,
+                                   std::vector<PendingMsg>* sink) {
+  SiteState& st = sites_[site];
+  const double m = static_cast<double>(network_.num_sites());
   const double threshold = (eps_ / m) * st.fest;
   if (threshold <= 0.0) {
     // Bootstrap: B_j is flushed every row, so the pending matrix is rank-1
     // and its only singular direction is the row itself. Ship it directly.
-    if (w > 0.0) {
-      network_.RecordVector(site);
-      coord_gram_.AddOuterProduct(1.0, row);
-    }
+    if (w > 0.0) EmitDirection(site, 1.0, row, sink);
     return;
   }
 
@@ -63,8 +133,7 @@ void MP2SvdThreshold::ProcessRow(size_t site,
   // This is the dominant regime at small eps (threshold below typical row
   // norms) and costs O(d) instead of a decomposition.
   if (st.trace == 0.0 && w >= threshold) {
-    network_.RecordVector(site);
-    coord_gram_.AddOuterProduct(1.0, row);
+    EmitDirection(site, 1.0, row, sink);
     return;
   }
 
@@ -73,15 +142,16 @@ void MP2SvdThreshold::ProcessRow(size_t site,
   st.gram.AddOuterProduct(1.0, rotated);
   st.trace += w;
   if (st.trace >= threshold && st.trace >= st.next_check) {
-    MaybeSendDirections(site);
+    MaybeSendDirections(site, sink);
   }
 }
 
-void MP2SvdThreshold::MaybeSendDirections(size_t site) {
+void MP2SvdThreshold::MaybeSendDirections(size_t site,
+                                          std::vector<PendingMsg>* sink) {
   SiteState& st = sites_[site];
   const double m = static_cast<double>(network_.num_sites());
   const double threshold = (eps_ / m) * st.fest;
-  ++decompositions_;
+  decompositions_.fetch_add(1, std::memory_order_relaxed);
 
   // Warm-started, *targeted* diagonalization: the Gram is already nearly
   // diagonal from the previous check, and the small-eigenvalue block
@@ -95,10 +165,7 @@ void MP2SvdThreshold::MaybeSendDirections(size_t site) {
   for (size_t i = 0; i < dim_; ++i) {
     const double lam = st.gram(i, i);
     if (lam >= threshold && lam > 0.0) {
-      network_.RecordVector(site);
-      std::vector<double> v = st.basis.ColVector(i);
-      // sigma * v arrives at the coordinator and is appended to B.
-      coord_gram_.AddOuterProduct(lam, v);
+      EmitDirection(site, lam, st.basis.ColVector(i), sink);
       st.gram(i, i) = 0.0;
     }
   }

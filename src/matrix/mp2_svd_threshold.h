@@ -23,8 +23,9 @@
 #ifndef DMT_MATRIX_MP2_SVD_THRESHOLD_H_
 #define DMT_MATRIX_MP2_SVD_THRESHOLD_H_
 
+#include <atomic>
 #include <cstddef>
-
+#include <mutex>
 #include <vector>
 
 #include "matrix/matrix_protocol.h"
@@ -39,16 +40,24 @@ class MP2SvdThreshold : public MatrixTrackingProtocol {
   MP2SvdThreshold(size_t num_sites, double eps);
 
   void ProcessRow(size_t site, const std::vector<double>& row) override;
+  void SiteUpdate(size_t site, const std::vector<double>& row) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   /// Rows sqrt(lambda_i) v_i^T reconstructed from the coordinator's exact
   /// Gram of all received directions.
   linalg::Matrix CoordinatorSketch() const override;
   linalg::Matrix CoordinatorGram() const override { return coord_gram_; }
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P2"; }
 
   double coordinator_frobenius() const { return coord_fest_; }
   /// Eigendecompositions performed across all sites (cost diagnostic).
-  size_t decomposition_count() const { return decompositions_; }
+  size_t decomposition_count() const {
+    return decompositions_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Each site keeps the Gram of its unsent rows expressed in its own
@@ -66,16 +75,43 @@ class MP2SvdThreshold : public MatrixTrackingProtocol {
     double fest = 0.0;          // F-hat as known by the site
   };
 
-  void MaybeSendDirections(size_t site);
+  /// One queued site->coordinator message: either a total-mass scalar
+  /// report (value = F_j) or a shipped direction (value = lambda,
+  /// dir = v; the coordinator appends sqrt(lambda) v to B, i.e. adds
+  /// lambda * v v^T to its Gram).
+  struct PendingMsg {
+    bool is_scalar;
+    double value;
+    std::vector<double> dir;
+  };
+
+  // Lazy structural init from the first row (thread-safe via dim_once_).
+  void EnsureDim(const std::vector<double>& row);
+  // Site half of the total-mass report: returns the amount to deliver
+  // (0.0 when below threshold); records the scalar message.
+  double SiteScalarPhase(size_t site, double w);
+  // Coordinator half: folds a reported amount, broadcasting F-hat after m
+  // scalar reports.
+  void ApplyScalar(double amount);
+  // Direction-shipping logic shared by both schedules. `sink` == nullptr
+  // applies to the coordinator Gram immediately (serial path); otherwise
+  // directions are queued for Synchronize().
+  void ElementPhase(size_t site, const std::vector<double>& row, double w,
+                    std::vector<PendingMsg>* sink);
+  void EmitDirection(size_t site, double lam, const std::vector<double>& v,
+                     std::vector<PendingMsg>* sink);
+  void MaybeSendDirections(size_t site, std::vector<PendingMsg>* sink);
 
   double eps_;
   size_t dim_ = 0;
+  std::once_flag dim_once_;
   stream::Network network_;
   std::vector<SiteState> sites_;
+  std::vector<std::vector<PendingMsg>> outbox_;  // per-site, FIFO
   linalg::Matrix coord_gram_;   // Gram of all received directions
   double coord_fest_ = 0.0;     // coordinator's F-hat
   size_t scalar_msgs_since_broadcast_ = 0;
-  size_t decompositions_ = 0;
+  std::atomic<size_t> decompositions_{0};
 };
 
 }  // namespace matrix

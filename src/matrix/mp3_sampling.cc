@@ -9,27 +9,49 @@
 
 namespace dmt {
 namespace matrix {
-
 MP3SamplingWoR::MP3SamplingWoR(size_t num_sites, double eps, uint64_t seed,
                                size_t sample_size)
     : s_(sample_size != 0 ? sample_size : hh::SampleSizeForEpsilon(eps)),
       network_(num_sites),
-      rng_(seed) {}
+      site_rngs_(MakeSiteRngs(num_sites, seed)),
+      outbox_(num_sites) {}
 
 void MP3SamplingWoR::ProcessRow(size_t site,
                                 const std::vector<double>& row) {
+  SiteUpdate(site, row);
+  DrainSite(site);  // only this site can have queued anything
+}
+
+void MP3SamplingWoR::SiteUpdate(size_t site, const std::vector<double>& row) {
+  DMT_CHECK_LT(site, site_rngs_.size());
   const double w = linalg::SquaredNorm(row);
   if (w <= 0.0) return;  // zero rows carry no covariance mass
-  const double rho = w / rng_.NextDoublePositive();
+  const double rho = w / site_rngs_[site].NextDoublePositive();
+  // tau_ only moves at Synchronize(); within a round every site compares
+  // against the threshold of the last broadcast it has seen.
   if (rho < tau_) return;
   network_.RecordVector(site);
-  SampledRow sr{row, w, rho};
-  if (rho >= 2.0 * tau_) {
-    q_next_.push_back(std::move(sr));
-    EndRoundIfNeeded();
-  } else {
-    q_cur_.push_back(std::move(sr));
+  outbox_[site].push_back(SampledRow{row, w, rho});
+}
+
+void MP3SamplingWoR::DrainSite(size_t site) {
+  for (SampledRow& sr : outbox_[site]) {
+    // Rows can arrive after tau doubled past their priority (sent before
+    // this round's broadcast reached the site); the coordinator drops
+    // them to keep the pool invariant "priority >= current tau".
+    if (sr.priority < tau_) continue;
+    if (sr.priority >= 2.0 * tau_) {
+      q_next_.push_back(std::move(sr));
+      EndRoundIfNeeded();
+    } else {
+      q_cur_.push_back(std::move(sr));
+    }
   }
+  outbox_[site].clear();
+}
+
+void MP3SamplingWoR::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
 void MP3SamplingWoR::EndRoundIfNeeded() {
@@ -95,51 +117,77 @@ MP3SamplingWR::MP3SamplingWR(size_t num_sites, double eps, uint64_t seed,
                              size_t sample_size)
     : s_(sample_size != 0 ? sample_size : hh::SampleSizeForEpsilon(eps)),
       network_(num_sites),
-      rng_(seed),
+      site_rngs_(MakeSiteRngs(num_sites, seed)),
       slots_(s_),
-      slots_below_2tau_(s_) {}
+      slots_below_2tau_(s_),
+      outbox_(num_sites) {}
 
 void MP3SamplingWR::ProcessRow(size_t site, const std::vector<double>& row) {
+  SiteUpdate(site, row);
+  DrainSite(site);  // only this site can have queued anything
+}
+
+void MP3SamplingWR::SiteUpdate(size_t site, const std::vector<double>& row) {
+  DMT_CHECK_LT(site, site_rngs_.size());
   const double w = linalg::SquaredNorm(row);
   if (w <= 0.0) return;
+  Rng& rng = site_rngs_[site];
   const double p = std::min(1.0, w / tau_);
   size_t t;
   if (p >= 1.0) {
     t = 0;
   } else {
-    t = static_cast<size_t>(std::log(rng_.NextDoublePositive()) /
+    t = static_cast<size_t>(std::log(rng.NextDoublePositive()) /
                             std::log(1.0 - p));
   }
-  bool sent_any = false;
+  PendingSends sends{row, w, {}};
   while (t < s_) {
-    const double u = rng_.NextDoublePositive() * p;
-    const double rho = w / u;
-    Slot& slot = slots_[t];
-    if (rho > slot.top_priority) {
-      const double old_second = slot.second_priority;
-      slot.second_priority = slot.top_priority;
-      slot.row = row;
-      slot.weight = w;
-      slot.top_priority = rho;
-      if (old_second <= 2.0 * tau_ && slot.second_priority > 2.0 * tau_) {
-        --slots_below_2tau_;
-      }
-    } else if (rho > slot.second_priority) {
-      if (slot.second_priority <= 2.0 * tau_ && rho > 2.0 * tau_) {
-        --slots_below_2tau_;
-      }
-      slot.second_priority = rho;
-    }
-    sent_any = true;
+    const double u = rng.NextDoublePositive() * p;
+    sends.hits.emplace_back(t, w / u);
     network_.RecordVector(site);
     if (p >= 1.0) {
       ++t;
     } else {
-      t += 1 + static_cast<size_t>(std::log(rng_.NextDoublePositive()) /
+      t += 1 + static_cast<size_t>(std::log(rng.NextDoublePositive()) /
                                    std::log(1.0 - p));
     }
   }
-  if (sent_any) EndRoundIfNeeded();
+  if (!sends.hits.empty()) outbox_[site].push_back(std::move(sends));
+}
+
+void MP3SamplingWR::ApplySlotUpdate(size_t t, const std::vector<double>& row,
+                                    double weight, double rho) {
+  Slot& slot = slots_[t];
+  if (rho > slot.top_priority) {
+    const double old_second = slot.second_priority;
+    slot.second_priority = slot.top_priority;
+    slot.row = row;
+    slot.weight = weight;
+    slot.top_priority = rho;
+    if (old_second <= 2.0 * tau_ && slot.second_priority > 2.0 * tau_) {
+      --slots_below_2tau_;
+    }
+  } else if (rho > slot.second_priority) {
+    if (slot.second_priority <= 2.0 * tau_ && rho > 2.0 * tau_) {
+      --slots_below_2tau_;
+    }
+    slot.second_priority = rho;
+  }
+}
+
+void MP3SamplingWR::DrainSite(size_t site) {
+  for (const PendingSends& sends : outbox_[site]) {
+    for (const auto& [t, rho] : sends.hits) {
+      ApplySlotUpdate(t, sends.row, sends.weight, rho);
+    }
+    // One round check per row, matching the per-row serial schedule.
+    EndRoundIfNeeded();
+  }
+  outbox_[site].clear();
+}
+
+void MP3SamplingWR::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
 void MP3SamplingWR::EndRoundIfNeeded() {

@@ -21,6 +21,7 @@
 #include <cstddef>
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "matrix/matrix_protocol.h"
@@ -38,8 +39,14 @@ class MP3SamplingWoR : public MatrixTrackingProtocol {
                  size_t sample_size = 0);
 
   void ProcessRow(size_t site, const std::vector<double>& row) override;
+  void SiteUpdate(size_t site, const std::vector<double>& row) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   linalg::Matrix CoordinatorSketch() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P3wor"; }
 
   size_t sample_size() const { return s_; }
@@ -52,15 +59,21 @@ class MP3SamplingWoR : public MatrixTrackingProtocol {
     double priority = 0.0;
   };
 
+  /// Delivers one site's queued forwards in emission order.
+  void DrainSite(size_t site);
   void EndRoundIfNeeded();
 
   size_t s_;
   stream::Network network_;
-  Rng rng_;
+  // One private generator per site (seed = base ⊕ site), so sites draw
+  // priorities independently and may run on concurrent threads.
+  std::vector<Rng> site_rngs_;
   double tau_ = 1.0;
   bool tau_ever_doubled_ = false;
   std::vector<SampledRow> q_cur_;
   std::vector<SampledRow> q_next_;
+  // Forwarded rows awaiting coordinator bucketing (per-site, FIFO).
+  std::vector<std::vector<SampledRow>> outbox_;
 };
 
 /// With-replacement row-sampling protocol (MP3wr / "P3wr").
@@ -70,8 +83,14 @@ class MP3SamplingWR : public MatrixTrackingProtocol {
                 size_t sample_size = 0);
 
   void ProcessRow(size_t site, const std::vector<double>& row) override;
+  void SiteUpdate(size_t site, const std::vector<double>& row) override;
+  void Synchronize() override;
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
   linalg::Matrix CoordinatorSketch() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P3wr"; }
 
   size_t sample_size() const { return s_; }
@@ -84,14 +103,29 @@ class MP3SamplingWR : public MatrixTrackingProtocol {
     double second_priority = 0.0;
   };
 
+  /// All sampler successes of one row scored at one site: (slot index,
+  /// priority) pairs, delivered to the coordinator as one batch so round
+  /// accounting matches the per-row serial schedule.
+  struct PendingSends {
+    std::vector<double> row;
+    double weight;
+    std::vector<std::pair<size_t, double>> hits;
+  };
+
+  void ApplySlotUpdate(size_t t, const std::vector<double>& row,
+                       double weight, double rho);
+  /// Delivers one site's queued sampler successes in emission order.
+  void DrainSite(size_t site);
   void EndRoundIfNeeded();
 
   size_t s_;
   stream::Network network_;
-  Rng rng_;
+  // One private generator per site (seed = base ⊕ site); see MP3SamplingWoR.
+  std::vector<Rng> site_rngs_;
   double tau_ = 1.0;
   std::vector<Slot> slots_;
   size_t slots_below_2tau_ = 0;
+  std::vector<std::vector<PendingSends>> outbox_;  // per-site, FIFO
 };
 
 }  // namespace matrix

@@ -15,7 +15,7 @@ MP4Experimental::MP4Experimental(size_t num_sites, double eps, uint64_t seed,
     : eps_(eps),
       options_(options),
       network_(num_sites),
-      rng_(seed),
+      site_rngs_(MakeSiteRngs(num_sites, seed)),
       weight_tracker_(&network_),
       sites_(num_sites),
       site_contribution_(num_sites) {
@@ -67,7 +67,7 @@ void MP4Experimental::ProcessRow(size_t site,
 
   const double p = CurrentP();
   const double send_prob = std::isinf(p) ? 1.0 : 1.0 - std::exp(-p * w);
-  if (rng_.NextDouble() < send_prob) SendZ(site);
+  if (site_rngs_[site].NextDouble() < send_prob) SendZ(site);
 }
 
 void MP4Experimental::SendZ(size_t site) {

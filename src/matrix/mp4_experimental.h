@@ -54,6 +54,9 @@ class MP4Experimental : public MatrixTrackingProtocol {
   linalg::Matrix CoordinatorSketch() const override;
   linalg::Matrix CoordinatorGram() const override;
   const stream::CommStats& comm_stats() const override;
+  std::vector<uint64_t> per_site_messages() const override {
+    return network_.per_site_up();
+  }
   std::string name() const override { return "P4"; }
 
  private:
@@ -73,7 +76,10 @@ class MP4Experimental : public MatrixTrackingProtocol {
   MP4Options options_;
   size_t dim_ = 0;
   stream::Network network_;
-  Rng rng_;
+  // One generator per site (seed = base ⊕ site); MP4 itself only runs on
+  // the serial schedule (its coordinator exchange is interleaved with the
+  // site update), but site streams never share a generator anywhere.
+  std::vector<Rng> site_rngs_;
   hh::TotalWeightTracker weight_tracker_;
   size_t broadcast_rounds_ = 0;
   std::vector<SiteState> sites_;

@@ -6,34 +6,56 @@ namespace dmt {
 namespace stream {
 
 Network::Network(size_t num_sites)
-    : num_sites_(num_sites), per_site_up_(num_sites, 0) {
+    : num_sites_(num_sites),
+      shards_(num_sites),
+      per_site_up_(num_sites, 0) {
   DMT_CHECK_GE(num_sites, 1u);
 }
 
 void Network::RecordScalar(size_t site) {
   DMT_CHECK_LT(site, num_sites_);
-  ++stats_.scalar_up;
-  ++per_site_up_[site];
+  ++shards_[site].scalar_up;
 }
 
 void Network::RecordElement(size_t site) {
   DMT_CHECK_LT(site, num_sites_);
-  ++stats_.element_up;
-  ++per_site_up_[site];
+  ++shards_[site].element_up;
 }
 
 void Network::RecordVector(size_t site) {
   DMT_CHECK_LT(site, num_sites_);
-  ++stats_.vector_up;
-  ++per_site_up_[site];
+  ++shards_[site].vector_up;
 }
 
 void Network::RecordBroadcast() {
-  ++stats_.broadcast_events;
-  stats_.broadcast_msgs += num_sites_;
+  broadcast_events_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Network::RecordRound() { ++stats_.rounds; }
+void Network::RecordRound() {
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+const CommStats& Network::stats() const {
+  CommStats merged;
+  for (const Shard& s : shards_) {
+    merged.scalar_up += s.scalar_up;
+    merged.element_up += s.element_up;
+    merged.vector_up += s.vector_up;
+  }
+  merged.broadcast_events = broadcast_events_.load(std::memory_order_relaxed);
+  merged.broadcast_msgs = merged.broadcast_events * num_sites_;
+  merged.rounds = rounds_.load(std::memory_order_relaxed);
+  merged_ = merged;
+  return merged_;
+}
+
+const std::vector<uint64_t>& Network::per_site_up() const {
+  for (size_t i = 0; i < num_sites_; ++i) {
+    const Shard& s = shards_[i];
+    per_site_up_[i] = s.scalar_up + s.element_up + s.vector_up;
+  }
+  return per_site_up_;
+}
 
 }  // namespace stream
 }  // namespace dmt

@@ -4,10 +4,25 @@
 // only counts messages, never wall-clock network time). Protocols call the
 // Record* methods at each send; delivery itself is a direct method call
 // inside the protocol implementation.
+//
+// Threading model: the per-site upstream counters are sharded one cache
+// line per site, so RecordScalar/RecordElement/RecordVector may be called
+// concurrently as long as no two threads record for the *same* site — the
+// contract the simulation driver upholds by pinning each site to exactly
+// one task per round. Coordinator-side events (RecordBroadcast /
+// RecordRound) use relaxed atomics and are safe from any thread. Aggregate
+// reads (stats(), per_site_up()) merge the shards into mutable caches and
+// must be externally serialized: no concurrent site recording AND no
+// second concurrent aggregate read (const here does not mean thread-safe).
+// In driver terms both hold trivially — aggregates are read on the
+// coordinator thread at round boundaries or after the run, and the pool
+// barrier provides the needed happens-before edge.
 #ifndef DMT_STREAM_NETWORK_H_
 #define DMT_STREAM_NETWORK_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "stream/comm_stats.h"
@@ -23,26 +38,44 @@ class Network {
 
   size_t num_sites() const { return num_sites_; }
 
-  /// Site -> coordinator sends.
+  /// Site -> coordinator sends. Concurrency-safe across distinct sites
+  /// (each writes only its own shard).
   void RecordScalar(size_t site);
   void RecordElement(size_t site);
   void RecordVector(size_t site);
 
   /// Coordinator -> all-sites broadcast (costs num_sites messages).
+  /// Safe from any thread (relaxed atomic).
   void RecordBroadcast();
 
   /// Marks a protocol round/epoch boundary (bookkeeping only).
+  /// Safe from any thread (relaxed atomic).
   void RecordRound();
 
-  const CommStats& stats() const { return stats_; }
+  /// Merged counters. Only call while no site is concurrently recording
+  /// (e.g. at a synchronization round boundary).
+  const CommStats& stats() const;
 
   /// Per-site upstream message counts (diagnostics; index = site id).
-  const std::vector<uint64_t>& per_site_up() const { return per_site_up_; }
+  /// Same synchronization requirement as stats().
+  const std::vector<uint64_t>& per_site_up() const;
 
  private:
+  // One cache line per site: protocols running sites on distinct threads
+  // must not contend on (or false-share) each other's tallies.
+  struct alignas(64) Shard {
+    uint64_t scalar_up = 0;
+    uint64_t element_up = 0;
+    uint64_t vector_up = 0;
+  };
+
   size_t num_sites_;
-  CommStats stats_;
-  std::vector<uint64_t> per_site_up_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> broadcast_events_{0};
+  std::atomic<uint64_t> rounds_{0};
+  // Merge caches rebuilt by the aggregate accessors (logically const).
+  mutable CommStats merged_;
+  mutable std::vector<uint64_t> per_site_up_;
 };
 
 }  // namespace stream

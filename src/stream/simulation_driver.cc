@@ -1,0 +1,186 @@
+#include "stream/simulation_driver.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <thread>
+
+#include "util/check.h"
+#include "util/env.h"
+
+namespace dmt {
+namespace stream {
+namespace {
+
+// Payload dispatch: the driver schedule is identical for both protocol
+// families; only the SiteUpdate signature differs.
+inline void ApplyItem(hh::HeavyHitterProtocol* p, size_t site,
+                      const WeightedUpdate& item) {
+  p->SiteUpdate(site, item.element, item.weight);
+}
+
+inline void ApplyItem(matrix::MatrixTrackingProtocol* p, size_t site,
+                      const std::vector<double>& row) {
+  p->SiteUpdate(site, row);
+}
+
+}  // namespace
+
+namespace {
+
+// Full-consumption parse (like GetEnvInt): "12abc", "", and negatives are
+// rejected with a warning rather than silently becoming a number — a bad
+// --chunk value would otherwise silently run a very different schedule.
+size_t ParseSizeValueOr(const char* flag, const char* value,
+                        size_t fallback) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || std::strchr(value, '-') != nullptr) {
+    std::fprintf(stderr, "warning: ignoring %s=%s (not a non-negative "
+                 "integer); using %zu\n", flag, value, fallback);
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace
+
+size_t ParseSizeArg(int argc, char** argv, const char* flag,
+                    size_t fallback) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, flag) == 0 && i + 1 < argc) {
+      return ParseSizeValueOr(flag, argv[i + 1], fallback);
+    }
+    if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+      return ParseSizeValueOr(flag, arg + flag_len + 1, fallback);
+    }
+  }
+  return fallback;
+}
+
+size_t ParseThreadsArg(int argc, char** argv) {
+  return ParseSizeArg(argc, argv, "--threads", 0);
+}
+
+size_t ParseChunkArg(int argc, char** argv, size_t fallback) {
+  return ParseSizeArg(argc, argv, "--chunk", fallback);
+}
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  const int64_t env = GetEnvInt("DMT_THREADS", 0);
+  if (env > 0) return static_cast<size_t>(env);
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+std::vector<size_t> AssignSites(Router* router, size_t n) {
+  std::vector<size_t> sites(n);
+  for (size_t i = 0; i < n; ++i) sites[i] = router->NextSite();
+  return sites;
+}
+
+SimulationDriver::SimulationDriver(const SimulationOptions& options)
+    : options_(options), threads_(ResolveThreadCount(options.threads)) {
+  if (options_.chunk_elements == 0) options_.chunk_elements = 1;
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+SimulationDriver::~SimulationDriver() = default;
+
+template <typename Protocol, typename Item>
+void SimulationDriver::RunImpl(Protocol* protocol,
+                               const std::vector<size_t>& sites,
+                               const std::vector<Item>& items,
+                               bool concurrent) {
+  DMT_CHECK_EQ(sites.size(), items.size());
+  const size_t n = items.size();
+  if (n == 0) return;
+  DMT_CHECK_LE(n, std::numeric_limits<uint32_t>::max());
+
+  // Partition: per-site arrival index lists, in stream order.
+  size_t num_sites = 0;
+  for (size_t s : sites) num_sites = std::max(num_sites, s + 1);
+  std::vector<std::vector<uint32_t>> per_site(num_sites);
+  for (size_t i = 0; i < n; ++i) {
+    per_site[sites[i]].push_back(static_cast<uint32_t>(i));
+  }
+
+  // cursor[s]: next unprocessed position in per_site[s]. Each entry is
+  // written only by site s's task within a chunk.
+  std::vector<size_t> cursor(num_sites, 0);
+  const auto advance_site = [&](size_t s, size_t end) {
+    const std::vector<uint32_t>& idx = per_site[s];
+    size_t c = cursor[s];
+    while (c < idx.size() && idx[c] < end) {
+      ApplyItem(protocol, s, items[idx[c]]);
+      ++c;
+    }
+    cursor[s] = c;
+  };
+
+  const size_t chunk = options_.chunk_elements;
+  // Bootstrap round: protocols start with a zero broadcast value (W-hat /
+  // F-hat / tau), which makes every site threshold 0 until the first
+  // Synchronize. A full chunk at threshold 0 would send one message per
+  // arrival; a short first round (~one arrival per site) bounds that
+  // bootstrap traffic to O(num_sites) messages. Part of the fixed
+  // schedule, so determinism across thread counts is unaffected.
+  const size_t bootstrap = std::min(chunk, num_sites);
+  std::vector<std::future<void>> futures;
+  for (size_t begin = 0; begin < n;) {
+    const size_t end =
+        std::min(n, begin + (begin == 0 ? bootstrap : chunk));
+    if (concurrent && pool_ != nullptr) {
+      futures.clear();
+      for (size_t s = 0; s < num_sites; ++s) {
+        // Skip sites with no arrivals in this window: no task, no state
+        // touched — exactly what the serial loop does.
+        const std::vector<uint32_t>& idx = per_site[s];
+        if (cursor[s] >= idx.size() || idx[cursor[s]] >= end) continue;
+        futures.push_back(
+            pool_->Submit([&advance_site, s, end] { advance_site(s, end); }));
+      }
+      // The pool barrier: site work of this chunk happens-before the
+      // coordinator drain below (and before any aggregate stats read).
+      // Every future is awaited even when one throws — unwinding early
+      // would destroy cursor/per_site while sibling tasks still use them.
+      std::exception_ptr first_error;
+      for (auto& f : futures) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    } else {
+      for (size_t s = 0; s < num_sites; ++s) advance_site(s, end);
+    }
+    protocol->Synchronize();
+    begin = end;
+  }
+}
+
+void SimulationDriver::Run(hh::HeavyHitterProtocol* protocol,
+                           const std::vector<size_t>& sites,
+                           const std::vector<WeightedUpdate>& items) {
+  RunImpl(protocol, sites, items,
+          protocol->SupportsConcurrentSiteUpdates());
+}
+
+void SimulationDriver::Run(matrix::MatrixTrackingProtocol* protocol,
+                           const std::vector<size_t>& sites,
+                           const std::vector<std::vector<double>>& rows) {
+  RunImpl(protocol, sites, rows,
+          protocol->SupportsConcurrentSiteUpdates());
+}
+
+}  // namespace stream
+}  // namespace dmt

@@ -1,0 +1,127 @@
+// Parallel multi-site simulation engine with deterministic replay.
+//
+// The paper's star network has m sites streaming concurrently, but the
+// protocols themselves are driven element-by-element. This driver closes
+// the gap: it partitions a materialized stream by router assignment and
+// runs each site's local sketch updates (SiteUpdate) concurrently on a
+// fixed thread pool, while every coordinator interaction — merges,
+// broadcasts, round transitions (Synchronize) — happens at explicit
+// synchronization points between chunks of the stream.
+//
+// Schedule. The stream is cut into chunks of `chunk_elements` arrivals (in
+// stream order), preceded by one short bootstrap round of ~one arrival per
+// site (protocols start with zero broadcast thresholds; syncing early
+// bounds the bootstrap message traffic to O(num_sites) instead of one
+// message per arrival for a whole chunk). Within a chunk every site
+// processes exactly its assigned arrivals, in stream order, reading only
+// its own state plus the last-broadcast values (which are frozen for the
+// whole chunk). At the chunk boundary the coordinator drains all queued
+// site messages in ascending site order. This schedule — not the thread
+// count — defines the semantics, so:
+//
+//   Determinism guarantee: for a fixed (protocol seed, router assignment,
+//   chunk_elements), runs with ANY number of threads produce bit-identical
+//   coordinator state, CommStats and per-site message counts to the serial
+//   execution of the same schedule. The per-site work is confined to
+//   per-site state (enforced by the protocols' SiteUpdate contract and
+//   per-site RNG streams), per-site network shards, and per-site outboxes;
+//   the coordinator phase is single-threaded and ordered.
+//
+// Protocols that do not support concurrent site updates (e.g. the
+// experimental MP4, whose coordinator exchange is interleaved with the
+// site update) automatically fall back to the serial schedule — same
+// results, no parallelism.
+#ifndef DMT_STREAM_SIMULATION_DRIVER_H_
+#define DMT_STREAM_SIMULATION_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hh/hh_protocol.h"
+#include "matrix/matrix_protocol.h"
+#include "stream/router.h"
+#include "util/thread_pool.h"
+
+namespace dmt {
+namespace stream {
+
+/// Driver configuration.
+struct SimulationOptions {
+  /// Worker threads for the site phase. 0 = resolve from the DMT_THREADS
+  /// environment variable, falling back to hardware_concurrency.
+  size_t threads = 0;
+  /// Stream arrivals between two coordinator synchronization points. This
+  /// is part of the simulated schedule: changing it changes (slightly) the
+  /// message pattern, so keep it fixed when comparing runs.
+  size_t chunk_elements = 8192;
+};
+
+/// Effective thread count: `requested` if > 0, else the DMT_THREADS
+/// environment variable if set to a positive integer, else
+/// std::thread::hardware_concurrency() (minimum 1).
+size_t ResolveThreadCount(size_t requested);
+
+/// Parses a `<flag> N` / `<flag>=N` command-line option (shared by benches
+/// and examples); returns `fallback` when absent.
+size_t ParseSizeArg(int argc, char** argv, const char* flag,
+                    size_t fallback);
+
+/// Parses `--threads`; returns 0 — "auto", resolved by the driver via
+/// ResolveThreadCount — when the flag is absent.
+size_t ParseThreadsArg(int argc, char** argv);
+
+/// Parses `--chunk` (arrivals per synchronization round); returns
+/// `fallback` when the flag is absent.
+size_t ParseChunkArg(int argc, char** argv, size_t fallback);
+
+/// One weighted heavy-hitter arrival, as materialized for the driver.
+struct WeightedUpdate {
+  uint64_t element = 0;
+  double weight = 1.0;
+};
+
+/// Materializes the router's site assignment for `n` arrivals (the
+/// partition step of the driver; also handy for tests that need the exact
+/// same assignment across runs).
+std::vector<size_t> AssignSites(Router* router, size_t n);
+
+/// Runs protocols over materialized streams with the schedule above.
+class SimulationDriver {
+ public:
+  explicit SimulationDriver(const SimulationOptions& options = {});
+  ~SimulationDriver();
+
+  SimulationDriver(const SimulationDriver&) = delete;
+  SimulationDriver& operator=(const SimulationDriver&) = delete;
+
+  /// Effective worker-thread count for the site phase.
+  size_t threads() const { return threads_; }
+  size_t chunk_elements() const { return options_.chunk_elements; }
+
+  /// Drives a heavy-hitter protocol: items[i] arrives at sites[i].
+  /// `sites` and `items` must have equal length.
+  void Run(hh::HeavyHitterProtocol* protocol,
+           const std::vector<size_t>& sites,
+           const std::vector<WeightedUpdate>& items);
+
+  /// Drives a matrix protocol: rows[i] arrives at sites[i].
+  void Run(matrix::MatrixTrackingProtocol* protocol,
+           const std::vector<size_t>& sites,
+           const std::vector<std::vector<double>>& rows);
+
+ private:
+  template <typename Protocol, typename Item>
+  void RunImpl(Protocol* protocol, const std::vector<size_t>& sites,
+               const std::vector<Item>& items, bool concurrent);
+
+  SimulationOptions options_;
+  size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
+};
+
+}  // namespace stream
+}  // namespace dmt
+
+#endif  // DMT_STREAM_SIMULATION_DRIVER_H_

@@ -1,0 +1,57 @@
+// Fixed-size thread pool for the parallel site simulation.
+//
+// Deliberately minimal: a single FIFO queue guarded by one mutex, no work
+// stealing, no priorities. The simulation driver submits one task per site
+// per synchronization round and then waits for all of them, so a fancier
+// scheduler would buy nothing while making determinism audits harder.
+#ifndef DMT_UTIL_THREAD_POOL_H_
+#define DMT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dmt {
+
+/// Fixed pool of worker threads consuming a shared FIFO task queue.
+///
+/// Tasks may be submitted from any thread. Exceptions thrown by a task are
+/// captured and rethrown from the matching future's get(). The pool is
+/// reusable: once all submitted tasks drain, further Submit calls behave
+/// identically (nothing is torn down between batches).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 is clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Signals shutdown and joins all workers. Queued tasks still run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; the future resolves when it finishes (or rethrows
+  /// what it threw). Must not be called after destruction has begun.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_UTIL_THREAD_POOL_H_

@@ -12,7 +12,11 @@ namespace {
 class CsvTest : public ::testing::Test {
  protected:
   void WriteFile(const std::string& content) {
-    path_ = ::testing::TempDir() + "/dmt_csv_test.csv";
+    // One file per test case: gtest_discover_tests runs each TEST as its
+    // own ctest process, so a shared fixed path races under `ctest -j`.
+    path_ = ::testing::TempDir() + "/dmt_csv_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
     std::ofstream out(path_);
     out << content;
   }
