@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,11 +38,28 @@
 #include "matrix/mp4_experimental.h"
 #include "stream/router.h"
 #include "stream/simulation_driver.h"
+#include "util/check.h"
 #include "util/env.h"
 #include "util/table_printer.h"
 
 namespace dmt {
 namespace bench {
+
+/// Emits a BENCH_*.json artifact the way the repo tracks perf
+/// trajectories: `body(f)` prints the JSON to `f`; it runs once against
+/// stdout and, when `path` is non-null, once more into that file (the
+/// repo keeps the checked-in BENCH_*.json up to date).
+template <typename Body>
+inline void EmitBenchJson(const char* path, Body body) {
+  body(stdout);
+  if (path != nullptr) {
+    FILE* f = std::fopen(path, "w");
+    DMT_CHECK(f != nullptr);
+    body(f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path);
+  }
+}
 
 /// Parses a `--threads N` / `--threads=N` flag; 0 (flag absent) lets the
 /// driver resolve DMT_THREADS / hardware concurrency.

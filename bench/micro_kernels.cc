@@ -1,158 +1,215 @@
-// Micro benchmarks (google-benchmark) for the computational kernels the
-// protocols are built on. Not a paper figure; used to track the library's
-// own performance.
-#include <benchmark/benchmark.h>
+// Naive-vs-blocked throughput of the linalg kernel layer plus the FD
+// shrink pipeline, tracked as BENCH_micro_kernels.json the same way
+// parallel_sites tracks the simulation engine.
+//
+// Usage: micro_kernels [output.json]
+//   DMT_SCALE=small|default|paper scales the problem sizes and timing
+//   budget. The JSON is printed to stdout and, when a path is given,
+//   written there (the repo keeps a checked-in BENCH_micro_kernels.json).
+//
+// Reported metrics:
+//  * GEMM and Gram GFLOP/s for the seed's naive triple loops
+//    (kernels::GemmNaive / GramNaive) versus the blocked kernels, across
+//    square and tall problem sizes.
+//  * Frequent Directions shrink pipeline: streaming rows/sec, shrink
+//    events/sec through the warm-started in-place pipeline, and the cost
+//    of one cold RightSingularOf-based shrink of the same buffer shape
+//    for comparison.
+#include <cmath>
+#include <cstdio>
+#include <vector>
 
-#include "data/synthetic_matrix.h"
-#include "data/zipf.h"
-#include "hh/p2_threshold.h"
-#include "linalg/jacobi_eigen.h"
-#include "linalg/spectral.h"
-#include "matrix/mp1_batched_fd.h"
-#include "sketch/count_min.h"
+#include "bench_util.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
 #include "sketch/frequent_directions.h"
-#include "sketch/misra_gries.h"
-#include "sketch/priority_sampler.h"
-#include "sketch/space_saving.h"
-#include "stream/simulation_driver.h"
+#include "util/check.h"
+#include "util/env.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
 using namespace dmt;
+namespace kn = linalg::kernels;
 
-void BM_JacobiEigen(benchmark::State& state) {
-  const size_t d = static_cast<size_t>(state.range(0));
-  Rng rng(1);
-  linalg::Matrix a = linalg::RandomGaussianMatrix(4 * d, d, &rng);
-  linalg::Matrix gram = a.Gram();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::SymmetricEigen(gram));
-  }
-  state.SetItemsProcessed(state.iterations());
+std::vector<double> RandomVec(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng->NextGaussian();
+  return v;
 }
-BENCHMARK(BM_JacobiEigen)->Arg(16)->Arg(44)->Arg(90);
 
-void BM_FrequentDirectionsAppend(benchmark::State& state) {
-  const size_t ell = static_cast<size_t>(state.range(0));
-  const size_t d = 44;
-  Rng rng(2);
+// Adaptive best-effort timing: repeats `fn` until `budget` seconds of
+// samples accumulate and returns seconds per call (minimum over batches,
+// to shed scheduler noise).
+template <typename Fn>
+double SecondsPerCall(Fn fn, double budget) {
+  fn();  // warm the caches / page in the buffers
+  size_t reps = 1;
+  double best = 1e100;
+  double spent = 0.0;
+  while (spent < budget) {
+    Timer t;
+    for (size_t i = 0; i < reps; ++i) fn();
+    const double s = t.Seconds();
+    spent += s;
+    best = std::min(best, s / static_cast<double>(reps));
+    if (s < budget / 8.0) reps *= 2;
+  }
+  return best;
+}
+
+struct KernelPoint {
+  size_t m, k, n;          // problem shape (Gram: n rows = m, d = k)
+  double naive_gflops;
+  double blocked_gflops;
+  double speedup;
+  double max_abs_diff;     // blocked vs naive result (sanity)
+};
+
+KernelPoint MeasureGemm(size_t s, double budget, Rng* rng) {
+  std::vector<double> a = RandomVec(s * s, rng);
+  std::vector<double> b = RandomVec(s * s, rng);
+  std::vector<double> c_naive(s * s), c_blocked(s * s);
+  const double flops = 2.0 * static_cast<double>(s) * s * s;
+  const double tn = SecondsPerCall(
+      [&] { kn::GemmNaive(a.data(), b.data(), c_naive.data(), s, s, s); },
+      budget);
+  const double tb = SecondsPerCall(
+      [&] { kn::Gemm(a.data(), b.data(), c_blocked.data(), s, s, s); },
+      budget);
+  KernelPoint p{s, s, s, flops / tn / 1e9, flops / tb / 1e9, tn / tb, 0.0};
+  for (size_t i = 0; i < s * s; ++i) {
+    p.max_abs_diff =
+        std::max(p.max_abs_diff, std::fabs(c_naive[i] - c_blocked[i]));
+  }
+  return p;
+}
+
+KernelPoint MeasureGram(size_t n, size_t d, double budget, Rng* rng) {
+  std::vector<double> a = RandomVec(n * d, rng);
+  std::vector<double> g_naive(d * d), g_blocked(d * d);
+  // Upper-triangle MACs mirrored: count the same n*d^2 flops for both.
+  const double flops = static_cast<double>(n) * d * d;
+  const double tn = SecondsPerCall(
+      [&] { kn::GramNaive(a.data(), n, d, g_naive.data()); }, budget);
+  const double tb = SecondsPerCall(
+      [&] { kn::Gram(a.data(), n, d, g_blocked.data()); }, budget);
+  KernelPoint p{n, d, d, flops / tn / 1e9, flops / tb / 1e9, tn / tb, 0.0};
+  for (size_t i = 0; i < d * d; ++i) {
+    p.max_abs_diff =
+        std::max(p.max_abs_diff, std::fabs(g_naive[i] - g_blocked[i]));
+  }
+  return p;
+}
+
+struct ShrinkPoint {
+  size_t dim, ell, rows;
+  double rows_per_sec;
+  size_t shrink_events;
+  double shrink_events_per_sec;   // amortized over the full append stream
+  double cold_shrink_seconds;     // one cold RightSingularOf shrink
+};
+
+ShrinkPoint MeasureShrink(size_t d, size_t ell, size_t n, Rng* rng) {
   sketch::FrequentDirections fd(ell, d);
   std::vector<double> row(d);
-  for (auto _ : state) {
-    for (auto& v : row) v = rng.NextGaussian();
+  Timer t;
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng->NextGaussian();
     fd.Append(row);
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_FrequentDirectionsAppend)->Arg(8)->Arg(20)->Arg(50);
+  const double s = t.Seconds();
+  ShrinkPoint p{d, ell, n, n / s, fd.shrink_count(), fd.shrink_count() / s,
+                0.0};
 
-void BM_MisraGriesUpdate(benchmark::State& state) {
-  const size_t k = static_cast<size_t>(state.range(0));
-  sketch::WeightedMisraGries mg(k);
-  data::ZipfianStream z(100000, 1.2, 100.0, 3);
-  for (auto _ : state) {
-    data::WeightedItem item = z.Next();
-    mg.Update(item.element, item.weight);
+  // Cold comparison: one from-scratch decomposition of a full 2*ell x d
+  // buffer, the per-event cost of the pre-warm-start pipeline.
+  linalg::Matrix buffer(2 * ell, d);
+  for (size_t i = 0; i < 2 * ell; ++i) {
+    for (size_t j = 0; j < d; ++j) buffer(i, j) = rng->NextGaussian();
   }
-  state.SetItemsProcessed(state.iterations());
+  p.cold_shrink_seconds = SecondsPerCall(
+      [&] {
+        linalg::RightSingular rs = linalg::RightSingularOf(buffer);
+        DMT_CHECK(!rs.squared_sigma.empty());
+      },
+      0.2);
+  return p;
 }
-BENCHMARK(BM_MisraGriesUpdate)->Arg(64)->Arg(1024);
 
-void BM_SpaceSavingUpdate(benchmark::State& state) {
-  sketch::SpaceSaving ss(static_cast<size_t>(state.range(0)));
-  data::ZipfianStream z(100000, 1.2, 100.0, 4);
-  for (auto _ : state) {
-    data::WeightedItem item = z.Next();
-    ss.Update(item.element, item.weight);
+void PrintKernelPoints(FILE* f, const char* name,
+                       const std::vector<KernelPoint>& points, bool last) {
+  std::fprintf(f, "  \"%s\": [\n", name);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const KernelPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, "
+                 "\"naive_gflops\": %.3f, \"blocked_gflops\": %.3f, "
+                 "\"speedup\": %.3f, \"max_abs_diff\": %.3e}%s\n",
+                 p.m, p.k, p.n, p.naive_gflops, p.blocked_gflops, p.speedup,
+                 p.max_abs_diff, i + 1 < points.size() ? "," : "");
   }
-  state.SetItemsProcessed(state.iterations());
+  std::fprintf(f, "  ]%s\n", last ? "" : ",");
 }
-BENCHMARK(BM_SpaceSavingUpdate)->Arg(64)->Arg(1024);
-
-void BM_CountMinUpdate(benchmark::State& state) {
-  sketch::CountMin cm(4, 2048, 5);
-  data::ZipfianStream z(100000, 1.2, 100.0, 5);
-  for (auto _ : state) {
-    data::WeightedItem item = z.Next();
-    cm.Update(item.element, item.weight);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CountMinUpdate);
-
-void BM_PrioritySamplerAdd(benchmark::State& state) {
-  sketch::PrioritySamplerWoR sampler(static_cast<size_t>(state.range(0)), 6);
-  data::ZipfianStream z(100000, 1.2, 100.0, 7);
-  uint64_t i = 0;
-  for (auto _ : state) {
-    data::WeightedItem item = z.Next();
-    sampler.Add(i++, item.weight);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_PrioritySamplerAdd)->Arg(256)->Arg(4096);
-
-void BM_ZipfianNext(benchmark::State& state) {
-  data::ZipfianStream z(static_cast<uint64_t>(state.range(0)), 2.0, 1000.0,
-                        8);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(z.Next());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ZipfianNext)->Arg(10000)->Arg(1000000);
-
-// ---------------------------------------------------------------------
-// Parallel simulation driver: end-to-end site-phase throughput at a given
-// thread count (range(0)). Results are thread-count invariant; only the
-// wall clock moves.
-// ---------------------------------------------------------------------
-
-void BM_SimulationDriverHhP2(benchmark::State& state) {
-  const size_t threads = static_cast<size_t>(state.range(0));
-  const size_t kN = 200000;
-  const size_t kSites = 32;
-  data::ZipfianStream z(100000, 1.5, 100.0, 9);
-  std::vector<stream::WeightedUpdate> items(kN);
-  for (auto& it : items) {
-    data::WeightedItem w = z.Next();
-    it = stream::WeightedUpdate{w.element, w.weight};
-  }
-  stream::Router router(kSites, stream::RoutingPolicy::kUniform, 10);
-  const std::vector<size_t> sites = stream::AssignSites(&router, kN);
-
-  // The driver (and its thread pool) lives across iterations; only the
-  // protocol run is timed, not pthread creation.
-  stream::SimulationDriver driver(stream::SimulationOptions{threads, 8192});
-  for (auto _ : state) {
-    hh::P2Threshold p(kSites, 0.01);
-    driver.Run(&p, sites, items);
-    benchmark::DoNotOptimize(p.comm_stats().total());
-  }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_SimulationDriverHhP2)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
-
-void BM_SimulationDriverMp1(benchmark::State& state) {
-  const size_t threads = static_cast<size_t>(state.range(0));
-  const size_t kN = 20000;
-  const size_t kSites = 32;
-  data::SyntheticMatrixGenerator gen(
-      data::SyntheticMatrixGenerator::PamapLike(11));
-  std::vector<std::vector<double>> rows(kN);
-  for (auto& r : rows) r = gen.Next();
-  stream::Router router(kSites, stream::RoutingPolicy::kUniform, 12);
-  const std::vector<size_t> sites = stream::AssignSites(&router, kN);
-
-  stream::SimulationDriver driver(stream::SimulationOptions{threads, 4096});
-  for (auto _ : state) {
-    matrix::MP1BatchedFD p(kSites, 0.1);
-    driver.Run(&p, sites, rows);
-    benchmark::DoNotOptimize(p.comm_stats().total());
-  }
-  state.SetItemsProcessed(state.iterations() * kN);
-}
-BENCHMARK(BM_SimulationDriverMp1)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      ++i;  // space-separated flag value is not the output path
+      continue;
+    }
+    if (argv[i][0] != '-') out_path = argv[i];
+  }
+
+  const Scale scale = GetScale();
+  // small keeps the CI smoke run to a couple of seconds; default covers
+  // the 256^3 acceptance point; paper adds a 384 point.
+  std::vector<size_t> sizes = {64, 128};
+  if (scale != Scale::kSmall) sizes.push_back(256);
+  if (scale == Scale::kPaper) sizes.push_back(384);
+  const double budget = scale == Scale::kSmall ? 0.05 : 0.25;
+
+  Rng rng(12345);
+  std::vector<KernelPoint> gemm, gram;
+  for (size_t s : sizes) gemm.push_back(MeasureGemm(s, budget, &rng));
+  for (size_t s : sizes) {
+    gram.push_back(MeasureGram(2 * s, s, budget, &rng));
+  }
+  const size_t shrink_rows =
+      static_cast<size_t>(ScaledN(40000, 2, 20));
+  ShrinkPoint shrink = MeasureShrink(64, 32, shrink_rows, &rng);
+
+  bench::EmitBenchJson(out_path, [&](FILE* f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"micro_kernels\",\n");
+    std::fprintf(f, "  \"scale\": \"%s\",\n",
+                 GetEnvString("DMT_SCALE", "default").c_str());
+    std::fprintf(f,
+                 "  \"tiles\": {\"row\": %zu, \"col\": %zu, \"k\": %zu, "
+                 "\"panel\": %zu},\n",
+                 kn::kRowTile, kn::kColTile, kn::kKTile, kn::kPanelRows);
+    PrintKernelPoints(f, "gemm", gemm, false);
+    PrintKernelPoints(f, "gram", gram, false);
+    std::fprintf(
+        f,
+        "  \"fd_shrink\": {\"dim\": %zu, \"ell\": %zu, \"rows\": %zu, "
+        "\"rows_per_sec\": %.0f, \"shrink_events\": %zu, "
+        "\"shrink_events_per_sec\": %.1f, "
+        "\"cold_shrink_seconds\": %.6f}\n",
+        shrink.dim, shrink.ell, shrink.rows, shrink.rows_per_sec,
+        shrink.shrink_events, shrink.shrink_events_per_sec,
+        shrink.cold_shrink_seconds);
+    std::fprintf(f, "}\n");
+  });
+
+  // Hard correctness gate so the smoke run fails loudly if the blocked
+  // kernels ever drift from the reference loops.
+  for (const auto& p : gemm) DMT_CHECK_LT(p.max_abs_diff, 1e-6);
+  for (const auto& p : gram) DMT_CHECK_LT(p.max_abs_diff, 1e-6);
+  return 0;
+}

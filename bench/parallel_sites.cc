@@ -79,6 +79,10 @@ void PrintWorkload(FILE* f, const char* name, size_t n, size_t m,
 int main(int argc, char** argv) {
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      ++i;  // space-separated flag value is not the output path
+      continue;
+    }
     if (argv[i][0] != '-') out_path = argv[i];
   }
 

@@ -1,7 +1,9 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
 
@@ -46,51 +48,55 @@ void Matrix::AppendRow(const double* row, size_t n) {
   ++rows_;
 }
 
+void Matrix::AppendRows(const Matrix& other) {
+  if (other.rows_ == 0) return;
+  if (rows_ == 0 && cols_ == 0) cols_ = other.cols_;
+  DMT_CHECK_EQ(other.cols_, cols_);
+  if (&other == this) {
+    // Self-append: size first, then copy the original prefix (iterators
+    // into other.data_ would dangle across the reallocation).
+    const size_t n = data_.size();
+    data_.resize(2 * n);
+    std::copy(data_.begin(), data_.begin() + static_cast<long>(n),
+              data_.begin() + static_cast<long>(n));
+    rows_ *= 2;
+    return;
+  }
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+void Matrix::ReserveRows(size_t rows) { data_.reserve(rows * cols_); }
+
+void Matrix::ResizeRows(size_t rows) {
+  data_.resize(rows * cols_, 0.0);
+  rows_ = rows;
+}
+
 void Matrix::ClearRows() {
   rows_ = 0;
   data_.clear();
 }
 
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
 Matrix Matrix::Transposed() const {
   Matrix t(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
-  }
+  kernels::Transpose(data_.data(), rows_, cols_, t.data_.data());
   return t;
 }
 
 Matrix Matrix::Multiply(const Matrix& other) const {
   DMT_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order: streams through both row-major operands.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = Row(i);
-    double* o = out.Row(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      const double aik = a[k];
-      if (aik == 0.0) continue;
-      const double* b = other.Row(k);
-      Axpy(aik, b, o, other.cols_);
-    }
-  }
+  kernels::Gemm(data_.data(), other.data_.data(), out.data_.data(), rows_,
+                cols_, other.cols_);
   return out;
 }
 
 Matrix Matrix::Gram() const {
   Matrix g(cols_, cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* r = Row(i);
-    for (size_t j = 0; j < cols_; ++j) {
-      const double rj = r[j];
-      if (rj == 0.0) continue;
-      double* gj = g.Row(j);
-      // Only fill the upper triangle; mirror afterwards.
-      for (size_t k = j; k < cols_; ++k) gj[k] += rj * r[k];
-    }
-  }
-  for (size_t j = 0; j < cols_; ++j) {
-    for (size_t k = j + 1; k < cols_; ++k) g(k, j) = g(j, k);
-  }
+  kernels::Gram(data_.data(), rows_, cols_, g.data_.data());
   return g;
 }
 
@@ -115,12 +121,7 @@ double Matrix::SquaredFrobeniusNorm() const {
 
 double Matrix::SquaredNormAlong(const std::vector<double>& x) const {
   DMT_CHECK_EQ(x.size(), cols_);
-  double total = 0.0;
-  for (size_t i = 0; i < rows_; ++i) {
-    double d = Dot(Row(i), x.data(), cols_);
-    total += d * d;
-  }
-  return total;
+  return kernels::SquaredNormAlong(data_.data(), rows_, cols_, x.data());
 }
 
 void Matrix::Add(const Matrix& other) {
@@ -142,11 +143,7 @@ void Matrix::ScaleBy(double alpha) {
 void Matrix::AddOuterProduct(double alpha, const std::vector<double>& v) {
   DMT_CHECK_EQ(rows_, cols_);
   DMT_CHECK_EQ(v.size(), rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double avi = alpha * v[i];
-    if (avi == 0.0) continue;
-    Axpy(avi, v.data(), Row(i), cols_);
-  }
+  kernels::Rank1Update(alpha, v.data(), data_.data(), cols_);
 }
 
 double Matrix::MaxAbsDiff(const Matrix& other) const {

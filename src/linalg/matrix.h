@@ -48,8 +48,23 @@ class Matrix {
   void AppendRow(const std::vector<double>& row);
   void AppendRow(const double* row, size_t n);
 
+  /// Appends every row of `other` (column counts must match; sets cols on
+  /// first append). Self-append is safe and doubles the matrix.
+  void AppendRows(const Matrix& other);
+
+  /// Reserves storage for at least `rows` rows (cols must be known), so
+  /// subsequent AppendRow calls up to that count never reallocate.
+  void ReserveRows(size_t rows);
+
+  /// Sets the row count, keeping the column count. Growing zero-fills the
+  /// new rows; shrinking keeps the reserved capacity.
+  void ResizeRows(size_t rows);
+
   /// Removes all rows but keeps the column count.
   void ClearRows();
+
+  /// Sets every entry to zero without changing the shape.
+  void SetZero();
 
   /// Matrix transpose.
   Matrix Transposed() const;

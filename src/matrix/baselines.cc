@@ -22,10 +22,14 @@ void NaiveFdBaseline::SiteUpdate(size_t site, const std::vector<double>& row) {
 }
 
 void NaiveFdBaseline::Synchronize() {
+  // Batch each site's queued rows through the FD bulk path: one shrink
+  // per buffer fill instead of one per ell appended rows.
+  linalg::Matrix batch;
   for (auto& site_outbox : outbox_) {
-    for (const auto& row : site_outbox) fd_.Append(row);
+    for (const auto& row : site_outbox) batch.AppendRow(row);
     site_outbox.clear();
   }
+  fd_.AppendRows(batch);
 }
 
 linalg::Matrix NaiveFdBaseline::CoordinatorSketch() const {
@@ -52,10 +56,14 @@ void NaiveSvdBaseline::SiteUpdate(size_t site,
 }
 
 void NaiveSvdBaseline::Synchronize() {
+  // One blocked Gram accumulation over the round's rows instead of a
+  // rank-1 sweep per row.
+  linalg::Matrix batch;
   for (auto& site_outbox : outbox_) {
-    for (const auto& row : site_outbox) cov_.AddRow(row);
+    for (const auto& row : site_outbox) batch.AppendRow(row);
     site_outbox.clear();
   }
+  cov_.AddRows(batch);
 }
 
 linalg::Matrix NaiveSvdBaseline::CoordinatorSketch() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/jacobi_eigen.h"
+#include "linalg/kernels.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
 
@@ -21,14 +22,18 @@ void CovarianceTracker::AddRow(const std::vector<double>& row) {
 
 void CovarianceTracker::AddRow(const double* row, size_t n) {
   DMT_CHECK_EQ(n, dim_);
-  for (size_t i = 0; i < dim_; ++i) {
-    const double ri = row[i];
-    if (ri == 0.0) continue;
-    double* g = gram_.Row(i);
-    for (size_t j = 0; j < dim_; ++j) g[j] += ri * row[j];
-  }
+  linalg::kernels::Rank1Update(1.0, row, gram_.Row(0), dim_);
   sq_frob_ += linalg::SquaredNorm(row, n);
   ++rows_seen_;
+}
+
+void CovarianceTracker::AddRows(const linalg::Matrix& rows) {
+  if (rows.rows() == 0) return;
+  DMT_CHECK_EQ(rows.cols(), dim_);
+  linalg::kernels::GramAccumulate(rows.Row(0), rows.rows(), dim_,
+                                  gram_.Row(0));
+  sq_frob_ += rows.SquaredFrobeniusNorm();
+  rows_seen_ += rows.rows();
 }
 
 double CovarianceError(const linalg::Matrix& gram_a,

@@ -26,6 +26,9 @@ class CovarianceTracker {
   void AddRow(const std::vector<double>& row);
   void AddRow(const double* row, size_t n);
 
+  /// Accounts every row of `rows` in one blocked Gram accumulation.
+  void AddRows(const linalg::Matrix& rows);
+
   const linalg::Matrix& gram() const { return gram_; }
   double squared_frobenius() const { return sq_frob_; }
   size_t rows_seen() const { return rows_seen_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels.h"
 #include "linalg/svd.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
@@ -75,24 +76,26 @@ void MP4Experimental::SendZ(size_t site) {
   const double p = CurrentP();
   const double correction = std::isinf(p) ? 0.0 : 1.0 / p;
 
-  // z_i = sqrt(‖A_j v_i‖² + 1/p) along every frozen direction.
+  // z_i = sqrt(‖A_j v_i‖² + 1/p) along every frozen direction. One
+  // blocked GEMM gives G V for all directions at once; the quadratic form
+  // along direction i is then the column-i dot of V and G V.
+  linalg::Matrix gv = st.gram.Multiply(st.basis);
+  std::vector<double> z2(dim_);
   for (size_t i = 0; i < dim_; ++i) {
-    std::vector<double> vi(dim_);
-    for (size_t j = 0; j < dim_; ++j) vi[j] = st.basis(j, i);
-    std::vector<double> gv = st.gram.MultiplyVector(vi);
-    const double along = linalg::Dot(vi, gv);
+    double along = 0.0;
+    for (size_t j = 0; j < dim_; ++j) along += st.basis(j, i) * gv(j, i);
     st.z[i] = std::sqrt(std::max(0.0, along) + correction);
+    z2[i] = st.z[i] * st.z[i];
   }
   network_.RecordVector(site);  // the d-vector z is one message
 
   // Both the site and the coordinator set A-hat_j = Z V^T; the coordinator
-  // replaces this site's Gram contribution V diag(z^2) V^T.
+  // replaces this site's Gram contribution V diag(z^2) V^T. The rows of
+  // V^T are the directions, so this is one batched rank-1 pass.
+  linalg::Matrix vt = st.basis.Transposed();
   linalg::Matrix contribution(dim_, dim_);
-  for (size_t i = 0; i < dim_; ++i) {
-    std::vector<double> vi(dim_);
-    for (size_t j = 0; j < dim_; ++j) vi[j] = st.basis(j, i);
-    contribution.AddOuterProduct(st.z[i] * st.z[i], vi);
-  }
+  linalg::kernels::BatchedRank1(vt.Row(0), z2.data(), dim_, dim_,
+                                contribution.Row(0));
   coord_gram_.Subtract(site_contribution_[site]);
   coord_gram_.Add(contribution);
   site_contribution_[site] = std::move(contribution);

@@ -1,8 +1,12 @@
 #include "sketch/frequent_directions.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <utility>
 
-#include "linalg/svd.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/kernels.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
 
@@ -32,7 +36,30 @@ void FrequentDirections::Append(const double* row, size_t n) {
 }
 
 void FrequentDirections::AppendRows(const linalg::Matrix& rows) {
-  for (size_t i = 0; i < rows.rows(); ++i) Append(rows.Row(i), rows.cols());
+  if (rows.rows() == 0) return;
+  if (dim_ == 0) dim_ = rows.cols();
+  DMT_CHECK_EQ(rows.cols(), dim_);
+  // Self-alias guard (same as Merge): appending from our own buffer while
+  // it grows and shrinks would read through dangling row pointers.
+  linalg::Matrix self_copy;
+  const linalg::Matrix* src = &rows;
+  if (&rows == &buffer_) {
+    self_copy = buffer_;
+    src = &self_copy;
+  }
+  // Bulk path: fill the buffer to its full capacity between shrinks, so a
+  // block of n rows costs ~n / (capacity - ell) shrinks instead of the
+  // row-at-a-time n / ell. The FD guarantee is unaffected: each shrink's
+  // cutoff is the (ell+1)-th eigenvalue of whatever buffer it compresses,
+  // and errors remain additive across shrinks.
+  const size_t cap = BufferCapacityRows();
+  const size_t n = src->rows();
+  for (size_t i = 0; i < n; ++i) {
+    if (buffer_.rows() >= cap) Shrink();
+    buffer_.AppendRow(src->Row(i), dim_);
+    stream_sq_frob_ += linalg::SquaredNorm(src->Row(i), dim_);
+  }
+  ShrinkIfNeeded();  // restore the < 2*ell streaming invariant
 }
 
 void FrequentDirections::Merge(const FrequentDirections& other) {
@@ -40,28 +67,20 @@ void FrequentDirections::Merge(const FrequentDirections& other) {
   if (other.dim_ == 0) return;
   if (dim_ == 0) dim_ = other.dim_;
   DMT_CHECK_EQ(dim_, other.dim_);
-  // Bulk-append the other sketch's rows, then shrink once. One SVD of the
-  // (at most 4*ell-row) combined buffer restores the <= 2*ell invariant,
-  // versus up to one SVD per ell_ appended rows on the row-at-a-time path.
-  // The FD guarantee is unaffected: errors are additive under merge and the
-  // single shrink's cutoff is accounted in total_shrinkage_ as usual.
+  // Bulk-append the other sketch's rows, then shrink once. One shrink of
+  // the (at most 4*ell-row) combined buffer restores the <= 2*ell
+  // invariant, versus up to one shrink per ell_ appended rows on the
+  // row-at-a-time path. The FD guarantee is unaffected: errors are
+  // additive under merge and the single shrink's cutoff is accounted in
+  // total_shrinkage_ as usual.
   //
-  // Self-merge aliases buffer_ with the append target (the row count would
-  // grow under the loop and Row(i) dangles on reallocation), so append from
-  // a copy in that case.
-  linalg::Matrix self_copy;
-  const linalg::Matrix* rows = &other.buffer_;
-  if (&other == this) {
-    self_copy = buffer_;
-    rows = &self_copy;
-  }
+  // Snapshots first: self-merge aliases other's counters with ours, and
+  // ShrinkIfNeeded may bump total_shrinkage_. Matrix::AppendRows handles
+  // the aliased-buffer case itself.
   const double other_sq_frob = other.stream_sq_frob_;
   const double other_shrinkage = other.total_shrinkage_;
-  const size_t n = rows->rows();
-  for (size_t i = 0; i < n; ++i) {
-    buffer_.AppendRow(rows->Row(i), dim_);
-  }
-  ShrinkIfNeeded();  // may bump total_shrinkage_, hence the snapshots above
+  buffer_.AppendRows(other.buffer_);
+  ShrinkIfNeeded();
   stream_sq_frob_ += other_sq_frob;
   total_shrinkage_ += other_shrinkage;
 }
@@ -74,26 +93,91 @@ void FrequentDirections::Compress() {
   if (buffer_.rows() > ell_) Shrink();
 }
 
+void FrequentDirections::EnsureShrinkWorkspace() {
+  if (workspace_ready_) return;
+  DMT_CHECK_GT(dim_, 0u);
+  buffer_.ReserveRows(BufferCapacityRows());
+  basis_ = linalg::Matrix::Identity(dim_);
+  gram_work_ = linalg::Matrix(dim_, dim_);
+  basis_work_ = linalg::Matrix(dim_, dim_);
+  rotated_ = linalg::Matrix(0, dim_);
+  rotated_.ReserveRows(BufferCapacityRows());
+  diag_.assign(dim_, 0.0);
+  order_.resize(dim_);
+  kept_rows_ = 0;
+  workspace_ready_ = true;
+}
+
 void FrequentDirections::Shrink() {
   ++shrink_count_;
-  linalg::RightSingular rs = linalg::RightSingularOf(buffer_);
-  // Cutoff: the (ell+1)-th largest squared singular value (0 if the sketch
-  // has rank <= ell already).
-  const size_t d = rs.squared_sigma.size();
-  const double delta = ell_ < d ? rs.squared_sigma[ell_] : 0.0;
+  EnsureShrinkWorkspace();
+  const size_t d = dim_;
+  const size_t n = buffer_.rows();
+
+  // Invariant on entry: buffer rows [0, kept_rows_) are exact scaled
+  // eigenvectors of basis_, so their Gram in that basis is the diagonal
+  // already stored in gram_work_. Only the rows appended since the last
+  // shrink need to be rotated in: one blocked GEMM (R = New * V) plus one
+  // blocked symmetric accumulation (G += R^T R).
+  const size_t nn = n - kept_rows_;
+  if (nn > 0) {
+    rotated_.ResizeRows(nn);
+    linalg::kernels::Gemm(buffer_.Row(kept_rows_), basis_.Row(0),
+                          rotated_.Row(0), nn, d, d);
+    linalg::kernels::GramAccumulate(rotated_.Row(0), nn, d,
+                                    gram_work_.Row(0));
+  }
+
+  // Warm-started cyclic Jacobi: the kept block is already diagonal, so
+  // only couplings introduced by the new rows cost rotations. basis_
+  // absorbs the rotations and stays the full eigenbasis.
+  linalg::JacobiDiagonalizeInPlace(&gram_work_, &basis_);
+
+  for (size_t i = 0; i < d; ++i) diag_[i] = gram_work_(i, i);
+  std::iota(order_.begin(), order_.end(), size_t{0});
+  std::sort(order_.begin(), order_.end(), [this](size_t x, size_t y) {
+    // Index tie-break keeps the permutation deterministic under std::sort.
+    if (diag_[x] != diag_[y]) return diag_[x] > diag_[y];
+    return x < y;
+  });
+
+  // Cutoff: the (ell+1)-th largest eigenvalue of B^T B, clamped at 0
+  // (trailing eigenvalues of a rank-deficient Gram are roundoff noise).
+  const double delta =
+      ell_ < d ? std::max(0.0, diag_[order_[ell_]]) : 0.0;
   total_shrinkage_ += delta;
 
-  linalg::Matrix next(0, 0);
-  for (size_t i = 0; i < d && i < ell_; ++i) {
-    const double lam = rs.squared_sigma[i] - delta;
-    if (lam <= 0.0) break;  // eigenvalues are sorted descending
-    const double scale = std::sqrt(lam);
-    std::vector<double> row(dim_);
-    for (size_t j = 0; j < dim_; ++j) row[j] = scale * rs.v(j, i);
-    next.AppendRow(row);
+  size_t kept = 0;
+  for (size_t i = 0; i < ell_ && i < d; ++i) {
+    if (diag_[order_[i]] - delta <= 0.0) break;  // sorted descending
+    kept = i + 1;
   }
-  if (next.rows() == 0) next = linalg::Matrix(0, dim_);
-  buffer_ = std::move(next);
+
+  // Rebuild the surviving rows in place: row i = sqrt(lambda_i - delta)
+  // times eigenvector order_[i]. Safe because kept <= ell < n and the
+  // source is basis_, not the buffer.
+  for (size_t i = 0; i < kept; ++i) {
+    const double scale = std::sqrt(diag_[order_[i]] - delta);
+    const size_t c = order_[i];
+    double* row = buffer_.Row(i);
+    for (size_t j = 0; j < d; ++j) row[j] = scale * basis_(j, c);
+  }
+  buffer_.ResizeRows(kept);
+
+  // Re-establish the invariant for the next warm start: permute the basis
+  // columns into eigenvalue order (row i <-> column i) and store the
+  // shrunk spectrum as the new diagonal Gram.
+  for (size_t r = 0; r < d; ++r) {
+    const double* src = basis_.Row(r);
+    double* dst = basis_work_.Row(r);
+    for (size_t i = 0; i < d; ++i) dst[i] = src[order_[i]];
+  }
+  std::swap(basis_, basis_work_);
+  gram_work_.SetZero();
+  for (size_t i = 0; i < kept; ++i) {
+    gram_work_(i, i) = diag_[order_[i]] - delta;
+  }
+  kept_rows_ = kept;
 }
 
 double FrequentDirections::SquaredNormAlong(

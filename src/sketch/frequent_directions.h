@@ -8,16 +8,32 @@
 // Implementation notes:
 //  * We use the doubled-buffer ("fast FD") variant: rows accumulate in a
 //    buffer of capacity 2*ell; when full, one shrink keeps <= ell rows.
-//    Amortized update cost is O(d^2) per row for the Gram rank-1 updates
-//    plus O(d^3 / ell) for the eigendecompositions.
-//  * The shrink is performed at the Gram level: eigendecompose B^T B,
-//    subtract the (ell+1)-th eigenvalue from all eigenvalues (clamped at
-//    0), and rebuild rows as sqrt(lambda_i') * v_i^T. This is numerically
-//    equivalent to the SVD formulation in the paper.
-//  * Sketches are mergeable [Agarwal et al. 2012]: Merge() appends the
-//    other sketch's rows and lets the shrink machinery re-compress; errors
-//    add, so the combined sketch still satisfies the bound for A1 stacked
-//    on A2. Protocol MP1 relies on this at the coordinator.
+//    Amortized update cost is O(d^2) per row.
+//  * The shrink pipeline is allocation-free in steady state and
+//    warm-started. The sketch owns a row buffer preallocated to 4*ell
+//    rows (2*ell for the streaming path; the head-room absorbs Merge and
+//    bulk-append spikes without reallocating) plus persistent d x d
+//    Gram/eigen workspaces. Shrink() works at the Gram level: the
+//    surviving rows of the previous shrink are exact scaled eigenvectors
+//    of the retained rotation basis V, so their Gram is the diagonal
+//    carried over from last time; only the rows appended since are
+//    rotated into V (one blocked GEMM) and accumulated (one blocked
+//    batched rank-1 pass). The cyclic Jacobi sweep then starts from an
+//    already mostly-diagonal matrix — the warm start — instead of a cold
+//    eigendecomposition from scratch, and the shrunk rows are rebuilt in
+//    place in the same buffer.
+//  * Shrinking at the Gram level (subtract the (ell+1)-th eigenvalue from
+//    every eigenvalue, clamp at 0, rebuild rows as sqrt(lambda') * v^T)
+//    is numerically equivalent to the SVD formulation in the paper;
+//    tests/fd_shrink_test.cc pins the warm path against a cold
+//    RightSingularOf reference.
+//  * Sketches are mergeable [Agarwal et al. 2012]: Merge() bulk-appends
+//    the other sketch's rows and lets one shrink re-compress; errors add,
+//    so the combined sketch still satisfies the bound for A1 stacked on
+//    A2. Protocol MP1 relies on this at the coordinator. AppendRows uses
+//    the same bulk path: it fills the buffer to capacity before each
+//    shrink, so a block of n rows costs ~n/(3*ell) shrinks instead of the
+//    row-at-a-time n/ell.
 #ifndef DMT_SKETCH_FREQUENT_DIRECTIONS_H_
 #define DMT_SKETCH_FREQUENT_DIRECTIONS_H_
 
@@ -43,7 +59,10 @@ class FrequentDirections {
   void Append(const std::vector<double>& row);
   void Append(const double* row, size_t n);
 
-  /// Appends every row of `rows`.
+  /// Appends every row of `rows` through the bulk path: the buffer fills
+  /// to its full (4*ell) capacity between shrinks, amortizing one shrink
+  /// over ~3*ell rows instead of the row-at-a-time ell. Self-alias with
+  /// the sketch buffer is safe.
   void AppendRows(const linalg::Matrix& rows);
 
   /// Merges another FD sketch (same ell) into this one.
@@ -78,15 +97,36 @@ class FrequentDirections {
   size_t shrink_count() const { return shrink_count_; }
 
  private:
+  /// Buffer capacity in rows: 2*ell for streaming plus head-room so the
+  /// Merge/AppendRows bulk paths never reallocate.
+  size_t BufferCapacityRows() const { return 4 * ell_; }
+
+  /// One-time (per sketch) allocation of the shrink workspaces, deferred
+  /// until the first shrink so short-lived sketches (e.g. the size-1
+  /// blocks of SlidingWindowFD) stay tiny.
+  void EnsureShrinkWorkspace();
+
   void ShrinkIfNeeded();
   void Shrink();
 
   size_t ell_;
   size_t dim_;
-  linalg::Matrix buffer_;  // up to 2*ell_ rows
+  linalg::Matrix buffer_;  // up to 2*ell_ rows between public calls
   double stream_sq_frob_ = 0.0;
   double total_shrinkage_ = 0.0;
   size_t shrink_count_ = 0;
+
+  // --- persistent shrink pipeline state (see EnsureShrinkWorkspace) ---
+  bool workspace_ready_ = false;
+  // Leading buffer rows that are exact scaled eigenvectors of basis_
+  // (buffer row i == sqrt(gram_work_(i,i)) * column i of basis_).
+  size_t kept_rows_ = 0;
+  linalg::Matrix basis_;       // d x d rotation carried across shrinks
+  linalg::Matrix gram_work_;   // d x d rotated Gram (diagonal after shrink)
+  linalg::Matrix basis_work_;  // d x d column-permutation scratch
+  linalg::Matrix rotated_;     // new rows rotated into basis_ (<= 4*ell x d)
+  std::vector<double> diag_;   // eigenvalue scratch
+  std::vector<size_t> order_;  // descending sort permutation scratch
 };
 
 }  // namespace sketch

@@ -62,8 +62,7 @@ linalg::Matrix SlidingWindowFD::Sketch(bool include_straddling) const {
           (b.newest - b.rows + 1) + window_ <= rows_seen_;
       if (straddles && !include_straddling) continue;
     }
-    const linalg::Matrix& sk = b.sketch.sketch();
-    for (size_t i = 0; i < sk.rows(); ++i) out.AppendRow(sk.Row(i), sk.cols());
+    out.AppendRows(b.sketch.sketch());
   }
   return out;
 }
