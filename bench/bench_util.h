@@ -16,11 +16,13 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
+#include "data/dataset.h"
 #include "data/synthetic_matrix.h"
 #include "data/zipf.h"
 #include "hh/exact_tracker.h"
@@ -180,7 +182,15 @@ struct MatrixMetrics {
 };
 
 struct MatrixExperimentConfig {
+  /// Synthetic generator, used when `source` is null (the pre-dataset
+  /// harness path, still taken by fig4/fig67/ablation).
   data::SyntheticMatrixConfig generator;
+  /// Optional dataset source (data/dataset.h). When set, rows are
+  /// streamed from it — each protocol pass Reset()s the source and
+  /// re-feeds it through the driver's streaming entry point, so the
+  /// stream is never materialized whole. `generator` is then ignored
+  /// except that `stream_len` still caps the row count.
+  data::DatasetSource* source = nullptr;
   size_t stream_len = 100000;
   size_t num_sites = 50;
   uint64_t seed = 1;
@@ -219,35 +229,73 @@ inline std::unique_ptr<matrix::MatrixTrackingProtocol> MakeMatrixProtocol(
   return std::make_unique<matrix::NaiveSvdBaseline>(m, dim, spec.k);
 }
 
-/// Runs all `specs` over one shared synthetic row stream; reports the
+/// Runs all `specs` over one shared row stream — synthetic
+/// (cfg.generator) or a real dataset (cfg.source) — and reports the
 /// paper's matrix metrics for each.
+///
+/// Both paths feed every protocol the identical (site, row) sequence:
+/// the synthetic path materializes the stream once; the dataset path
+/// replays the source per protocol (Reset() replays are bit-identical by
+/// contract) through the driver's streaming entry point, with a fresh
+/// equally-seeded router per pass, so only one synchronization window is
+/// ever in memory.
 inline std::vector<MatrixMetrics> RunMatrixExperiment(
     const MatrixExperimentConfig& cfg,
     const std::vector<MatrixProtocolSpec>& specs) {
+  const size_t dim = cfg.source != nullptr ? cfg.source->dim()
+                                           : cfg.generator.dim;
   std::vector<std::unique_ptr<matrix::MatrixTrackingProtocol>> protocols;
   for (size_t i = 0; i < specs.size(); ++i) {
-    protocols.push_back(MakeMatrixProtocol(specs[i], cfg.num_sites,
-                                           cfg.generator.dim,
-                                           cfg.seed + 200 + i));
+    protocols.push_back(
+        MakeMatrixProtocol(specs[i], cfg.num_sites, dim, cfg.seed + 200 + i));
   }
-
-  data::SyntheticMatrixGenerator gen(cfg.generator);
-  stream::Router router(cfg.num_sites, stream::RoutingPolicy::kUniform,
-                        cfg.seed + 2);
-  matrix::CovarianceTracker truth(cfg.generator.dim);
-  std::vector<std::vector<double>> rows(cfg.stream_len);
-  for (size_t i = 0; i < cfg.stream_len; ++i) {
-    rows[i] = gen.Next();
-    truth.AddRow(rows[i]);
-  }
-  const std::vector<size_t> sites =
-      stream::AssignSites(&router, cfg.stream_len);
 
   stream::SimulationOptions driver_opt;
   driver_opt.threads = cfg.threads;
   driver_opt.chunk_elements = cfg.chunk_elements;
   stream::SimulationDriver driver(driver_opt);
-  for (auto& p : protocols) driver.Run(p.get(), sites, rows);
+
+  matrix::CovarianceTracker truth(dim);
+  if (cfg.source != nullptr) {
+    // Truth pass, then one streaming replay per protocol. Same 0 -> 1
+    // coercion the driver applies to chunk_elements, and the same
+    // unbounded-source guard: stream_len == 0 means "the whole dataset",
+    // which needs a finite one.
+    DMT_CHECK(cfg.stream_len > 0 || cfg.source->info().rows > 0);
+    const size_t chunk = cfg.chunk_elements == 0 ? 1 : cfg.chunk_elements;
+    cfg.source->Reset();
+    linalg::Matrix window;
+    size_t fed = 0;
+    while (cfg.stream_len == 0 || fed < cfg.stream_len) {
+      const size_t want = cfg.stream_len == 0
+                              ? chunk
+                              : std::min(chunk, cfg.stream_len - fed);
+      window.ClearRows();
+      const size_t got = cfg.source->NextChunk(want, &window);
+      if (got == 0) break;
+      truth.AddRows(window);
+      fed += got;
+    }
+    for (auto& p : protocols) {
+      cfg.source->Reset();
+      stream::Router router(cfg.num_sites, stream::RoutingPolicy::kUniform,
+                            cfg.seed + 2);
+      const size_t protocol_fed = driver.Run(p.get(), &router, cfg.source, fed);
+      DMT_CHECK_EQ(protocol_fed, fed);
+    }
+  } else {
+    data::SyntheticMatrixGenerator gen(cfg.generator);
+    stream::Router router(cfg.num_sites, stream::RoutingPolicy::kUniform,
+                          cfg.seed + 2);
+    std::vector<std::vector<double>> rows(cfg.stream_len);
+    for (size_t i = 0; i < cfg.stream_len; ++i) {
+      rows[i] = gen.Next();
+      truth.AddRow(rows[i]);
+    }
+    const std::vector<size_t> sites =
+        stream::AssignSites(&router, cfg.stream_len);
+    for (auto& p : protocols) driver.Run(p.get(), sites, rows);
+  }
 
   std::vector<MatrixMetrics> out;
   for (size_t i = 0; i < protocols.size(); ++i) {
@@ -258,6 +306,37 @@ inline std::vector<MatrixMetrics> RunMatrixExperiment(
     out.push_back(m);
   }
   return out;
+}
+
+/// Opens the dataset a figure/table bench was pointed at (--dataset /
+/// --data-dir / --max-rows, DMT_DATA_DIR) and prints one header line
+/// saying what is actually being served. `default_name` is the bench's
+/// real dataset ("pamap" / "msd"); a bare `--dataset synthetic` is
+/// mapped to the matched synthetic stand-in so fig3 never silently runs
+/// d=44 data. Exits with a message on unknown names or unusable files.
+inline std::unique_ptr<data::DatasetSource> OpenBenchDataset(
+    int argc, char** argv, const std::string& default_name) {
+  data::DatasetSpec defaults;
+  defaults.name = default_name;
+  data::DatasetSpec spec = data::ParseDatasetArgs(argc, argv, defaults);
+  if (spec.name == "synthetic" && default_name == "msd") {
+    spec.name = "synthetic-msd";
+  }
+  std::string error;
+  std::unique_ptr<data::DatasetSource> source =
+      data::OpenDataset(spec, &error);
+  if (source == nullptr) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    std::exit(2);
+  }
+  const data::DatasetInfo& info = source->info();
+  std::printf("dataset: %s (%s%s) — %llu rows x %zu cols, beta=%g\n",
+              info.name.c_str(), info.origin.c_str(),
+              info.synthetic_fallback ? ", fallback for missing real data"
+                                      : "",
+              static_cast<unsigned long long>(info.rows), info.dim,
+              info.beta);
+  return source;
 }
 
 /// Formats a count compactly for table cells.

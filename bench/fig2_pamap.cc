@@ -1,23 +1,40 @@
-// Figure 2 (a)-(d): matrix tracking on the PAMAP-like (low rank) stream.
+// Figure 2 (a)-(d): matrix tracking on the PAMAP (low rank) stream.
 //
 //   (a) err vs eps   (b) messages vs eps   (eps in {5e-3 ... 5e-1}, m=50)
 //   (c) messages vs m   (d) err vs m       (m in {10..100}, eps=0.1)
+//
+// Runs on the real PAMAP matrix when it is available:
+//   fig2_pamap --dataset pamap --data-dir <dir> [--threads N] [--chunk N]
+// Falls back to the synthetic PAMAP-like stream (with a log line) when
+// the data directory is absent; `--dataset synthetic` forces that. See
+// docs/DATASETS.md for the download/layout and tools/fetch_datasets.sh.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dmt;
   using namespace dmt::bench;
 
-  MatrixExperimentConfig base;
-  base.generator = data::SyntheticMatrixGenerator::PamapLike(42);
-  base.stream_len = static_cast<size_t>(ScaledN(629250, 6, 60));
-  base.num_sites = 50;
+  std::unique_ptr<data::DatasetSource> source =
+      OpenBenchDataset(argc, argv, "pamap");
 
-  std::printf("Figure 2: PAMAP-like stream, N=%zu, d=%zu\n\n",
-              base.stream_len, base.generator.dim);
+  MatrixExperimentConfig base;
+  base.source = source.get();
+  base.stream_len = static_cast<size_t>(ScaledN(629250, 6, 60));
+  if (source->info().rows != 0) {
+    base.stream_len = std::min<size_t>(
+        base.stream_len, static_cast<size_t>(source->info().rows));
+  }
+  base.num_sites = 50;
+  base.threads = ParseThreadsFlag(argc, argv);
+  base.chunk_elements =
+      stream::ParseChunkArg(argc, argv, base.chunk_elements);
+
+  std::printf("Figure 2: PAMAP stream, N=%zu, d=%zu\n\n", base.stream_len,
+              source->dim());
 
   const std::vector<double> eps_values{5e-3, 1e-2, 5e-2, 1e-1, 5e-1};
   TablePrinter err_eps("Figure 2(a): err vs eps (m=50)");

@@ -3,37 +3,55 @@
 // Paper setup: PAMAP N=629,250 d=44 (low rank), MSD N=300,000 d=90 (high
 // rank), eps = 0.1, m = 50. Methods: P1, P2, P3wor, P3wr, and the two
 // ship-everything baselines FD (ell = k) and SVD (best rank-k).
+//
+// Runs on the real matrices when they are available:
+//   table1_matrix_raw --data-dir <dir>                  # both datasets
+//   table1_matrix_raw --dataset pamap --data-dir <dir>  # one of them
+// Each dataset falls back to its synthetic stand-in (with a log line)
+// when its files are absent. See docs/DATASETS.md / tools/fetch_datasets.sh.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 
 namespace {
 
-void RunDataset(const char* label, dmt::data::SyntheticMatrixConfig gen,
-                size_t paper_n, size_t k) {
+void RunDataset(int argc, char** argv, const std::string& name,
+                size_t paper_n, int64_t default_div, size_t k) {
   using namespace dmt;
   using namespace dmt::bench;
 
+  std::unique_ptr<data::DatasetSource> source =
+      OpenBenchDataset(argc, argv, name);
+
   MatrixExperimentConfig cfg;
-  cfg.generator = gen;
-  cfg.stream_len = static_cast<size_t>(ScaledN(
-      static_cast<int64_t>(paper_n), 3, 30));
+  cfg.source = source.get();
+  cfg.stream_len = static_cast<size_t>(
+      ScaledN(static_cast<int64_t>(paper_n), default_div, default_div * 10));
+  if (source->info().rows != 0) {
+    cfg.stream_len = std::min<size_t>(
+        cfg.stream_len, static_cast<size_t>(source->info().rows));
+  }
   cfg.num_sites = 50;
+  cfg.threads = ParseThreadsFlag(argc, argv);
+  cfg.chunk_elements = stream::ParseChunkArg(argc, argv, cfg.chunk_elements);
 
   std::vector<MatrixProtocolSpec> specs{
       {"P1", 0.1, k}, {"P2", 0.1, k},   {"P3", 0.1, k},
       {"P3wr", 0.1, k}, {"FD", 0.1, k}, {"SVD", 0.1, k}};
   auto rows = RunMatrixExperiment(cfg, specs);
 
-  TablePrinter t(std::string("Table 1: ") + label + ", k=" +
+  TablePrinter t("Table 1: " + source->info().name + ", k=" +
                  std::to_string(k) + ", N=" + std::to_string(cfg.stream_len) +
-                 ", d=" + std::to_string(gen.dim) + ", eps=0.1, m=50");
+                 ", d=" + std::to_string(source->dim()) + ", eps=0.1, m=50");
   t.SetHeader({"Method", "err", "msg"});
   for (const auto& r : rows) {
     // The paper labels the without-replacement sampler P3wor.
-    std::string name = r.protocol == "P3" ? "P3wor" : r.protocol;
-    t.AddRow({name, Fmt(r.err), Fmt(r.messages)});
+    std::string label = r.protocol == "P3" ? "P3wor" : r.protocol;
+    t.AddRow({label, Fmt(r.err), Fmt(r.messages)});
   }
   t.Print();
   std::printf("\n");
@@ -41,11 +59,14 @@ void RunDataset(const char* label, dmt::data::SyntheticMatrixConfig gen,
 
 }  // namespace
 
-int main() {
-  using dmt::data::SyntheticMatrixGenerator;
+int main(int argc, char** argv) {
+  using dmt::data::ParseDatasetArgs;
   std::printf("Table 1: distributed matrix tracking, raw numbers\n\n");
-  RunDataset("PAMAP-like", SyntheticMatrixGenerator::PamapLike(42), 629250,
-             30);
-  RunDataset("MSD-like", SyntheticMatrixGenerator::MsdLike(43), 300000, 50);
+  // --dataset selects one matrix; the default runs the paper's both.
+  const std::string selected = ParseDatasetArgs(argc, argv).name;
+  const bool pamap_like = selected != "msd" && selected != "synthetic-msd";
+  const bool msd_like = selected != "pamap" && selected != "synthetic-pamap";
+  if (pamap_like) RunDataset(argc, argv, "pamap", 629250, 3, 30);
+  if (msd_like) RunDataset(argc, argv, "msd", 300000, 3, 50);
   return 0;
 }

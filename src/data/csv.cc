@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,37 +27,127 @@ bool ParseCell(const std::string& cell, double* out) {
   return true;
 }
 
+// Splits `line` into cells: on any run of spaces/tabs when
+// `whitespace_delimited`, else on every occurrence of `delimiter`.
+void SplitLine(const std::string& line, const CsvParseOptions& options,
+               std::vector<std::string>* cells) {
+  cells->clear();
+  if (options.whitespace_delimited) {
+    size_t i = 0;
+    const auto is_ws = [](char c) { return c == ' ' || c == '\t'; };
+    while (i < line.size()) {
+      while (i < line.size() && is_ws(line[i])) ++i;
+      size_t begin = i;
+      while (i < line.size() && !is_ws(line[i])) ++i;
+      if (i > begin) cells->emplace_back(line, begin, i - begin);
+    }
+  } else {
+    size_t begin = 0;
+    while (true) {
+      const size_t pos = line.find(options.delimiter, begin);
+      if (pos == std::string::npos) {
+        cells->emplace_back(line, begin, line.size() - begin);
+        break;
+      }
+      cells->emplace_back(line, begin, pos - begin);
+      begin = pos + 1;
+    }
+  }
+}
+
 }  // namespace
+
+size_t ForEachCsvRow(const std::string& path, const CsvParseOptions& options,
+                     const std::function<void(const std::vector<double>&)>& fn,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return 0;
+  }
+
+  const bool impute =
+      options.missing_policy == CsvParseOptions::MissingPolicy::kImpute;
+  std::string line;
+  std::vector<std::string> cells;
+  std::vector<double> raw;
+  std::vector<double> row;
+  size_t expected_raw_cols = 0;
+  size_t delivered = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    SplitLine(line, options, &cells);
+    // Delimiter-split lines keep a trailing empty cell off ("1,2,3," is
+    // three columns, matching the strict loader).
+    if (!options.whitespace_delimited && cells.size() > 1 &&
+        cells.back().empty()) {
+      cells.pop_back();
+    }
+    if (cells.empty()) continue;
+
+    raw.clear();
+    bool bad = false;
+    size_t numeric_cells = 0;
+    for (const std::string& cell : cells) {
+      double v = 0.0;
+      if (ParseCell(cell, &v)) {
+        ++numeric_cells;
+      } else {
+        if (!impute) {
+          bad = true;  // strict mode: a header or malformed line
+          break;
+        }
+        v = options.impute_value;
+      }
+      raw.push_back(v);
+    }
+    // Even under kImpute, a line with not a single numeric cell is a
+    // header/comment, not a row of missing values: imputing it would
+    // lock the expected width onto the header's token count.
+    if (bad || raw.empty() || numeric_cells == 0) continue;
+    // Lock onto the first surviving row's raw width; later rows that
+    // disagree (truncated tails, concatenation artifacts) are skipped.
+    if (expected_raw_cols == 0) expected_raw_cols = raw.size();
+    if (raw.size() != expected_raw_cols) continue;
+
+    if (options.keep_columns.empty()) {
+      fn(raw);
+    } else {
+      row.clear();
+      bool out_of_range = false;
+      for (size_t c : options.keep_columns) {
+        if (c >= raw.size()) {
+          out_of_range = true;
+          break;
+        }
+        row.push_back(raw[c]);
+      }
+      if (out_of_range) continue;
+      fn(row);
+    }
+    ++delivered;
+    if (options.max_rows != 0 && delivered >= options.max_rows) break;
+  }
+  return delivered;
+}
+
+linalg::Matrix LoadCsvFiltered(const std::string& path,
+                               const CsvParseOptions& options,
+                               std::string* error) {
+  linalg::Matrix out;
+  ForEachCsvRow(
+      path, options, [&out](const std::vector<double>& row) { out.AppendRow(row); },
+      error);
+  return out;
+}
 
 linalg::Matrix LoadCsv(const std::string& path, char delimiter,
                        size_t max_rows) {
-  std::ifstream in(path);
-  linalg::Matrix out;
-  if (!in.is_open()) return out;
-
-  std::string line;
-  size_t expected_cols = 0;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::vector<double> row;
-    std::stringstream ss(line);
-    std::string cell;
-    bool bad = false;
-    while (std::getline(ss, cell, delimiter)) {
-      double v = 0.0;
-      if (!ParseCell(cell, &v)) {
-        bad = true;  // non- or partially-numeric cell (e.g. a header line)
-        break;
-      }
-      row.push_back(v);
-    }
-    if (bad || row.empty()) continue;
-    if (expected_cols == 0) expected_cols = row.size();
-    if (row.size() != expected_cols) continue;
-    out.AppendRow(row);
-    if (max_rows != 0 && out.rows() >= max_rows) break;
-  }
-  return out;
+  CsvParseOptions options;
+  options.delimiter = delimiter;
+  options.max_rows = max_rows;
+  return LoadCsvFiltered(path, options);
 }
 
 }  // namespace data

@@ -1,12 +1,22 @@
-// Minimal CSV loader so users with access to the original PAMAP /
-// YearPredictionMSD datasets can replay the paper's experiments on the real
-// data (drop the file next to the bench binaries and pass its path).
+// CSV parsing for the real-dataset path.
+//
+// Two layers:
+//  * LoadCsv — the original minimal loader (numeric cells only, rows with
+//    any bad cell are skipped). Kept for tools and tests that want the
+//    strict behavior.
+//  * CsvParseOptions + ForEachCsvRow / LoadCsvFiltered — the configurable
+//    streaming parser the dataset loaders (PamapSource / MsdSource in
+//    data/dataset.h) are built on: whitespace-delimited files, per-paper
+//    column selection, and explicit missing-value policy (PAMAP encodes
+//    dropped sensor readings as literal "NaN" cells).
 #ifndef DMT_DATA_CSV_H_
 #define DMT_DATA_CSV_H_
 
 #include <cstddef>
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "linalg/matrix.h"
 
@@ -18,6 +28,46 @@ namespace data {
 /// Returns an empty matrix if the file cannot be opened.
 linalg::Matrix LoadCsv(const std::string& path, char delimiter = ',',
                        size_t max_rows = 0);
+
+/// Parser configuration for the dataset loaders.
+struct CsvParseOptions {
+  /// Cell separator. Ignored when `whitespace_delimited` is set.
+  char delimiter = ',';
+  /// Split on any run of spaces/tabs instead of `delimiter` (the PAMAP
+  /// .dat files are space-separated).
+  bool whitespace_delimited = false;
+  /// Stop after this many delivered rows; 0 = unlimited.
+  size_t max_rows = 0;
+  /// Raw-file column indices to keep, in the given order. Empty = keep
+  /// every column. Indices past a row's width invalidate the row (it is
+  /// skipped, like a wrong column count).
+  std::vector<size_t> keep_columns;
+  /// What to do with a missing cell — empty, non-numeric (e.g. literal
+  /// "NaN"), or non-finite after parsing:
+  ///  * kSkipRow: drop the whole row (the strict LoadCsv behavior).
+  ///  * kImpute: substitute `impute_value` and keep the row. A line with
+  ///    no numeric cell at all (a text header) is still skipped — it is
+  ///    not a row of missing values.
+  enum class MissingPolicy { kSkipRow, kImpute };
+  MissingPolicy missing_policy = MissingPolicy::kSkipRow;
+  double impute_value = 0.0;
+};
+
+/// Streams `path` row by row: parses each line under `options`, applies
+/// the column selection, and calls `fn(row)` for every surviving row
+/// (row.size() is constant across calls: keep_columns.size() when set,
+/// else the width of the first surviving row — later rows with a
+/// different raw width are skipped). Returns the number of rows
+/// delivered. If the file cannot be opened, returns 0 and sets `*error`
+/// (when non-null).
+size_t ForEachCsvRow(const std::string& path, const CsvParseOptions& options,
+                     const std::function<void(const std::vector<double>&)>& fn,
+                     std::string* error = nullptr);
+
+/// Materializing convenience wrapper over ForEachCsvRow().
+linalg::Matrix LoadCsvFiltered(const std::string& path,
+                               const CsvParseOptions& options,
+                               std::string* error = nullptr);
 
 }  // namespace data
 }  // namespace dmt

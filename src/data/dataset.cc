@@ -1,0 +1,518 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "data/csv.h"
+#include "data/dmtbin.h"
+#include "util/check.h"
+#include "util/env.h"
+
+namespace dmt {
+namespace data {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Paper workload sizes (Section 6): the default row counts of the
+// synthetic stand-ins, so `--dataset synthetic` and a real-data run cover
+// the same stream length.
+constexpr uint64_t kPamapPaperRows = 629250;
+constexpr uint64_t kMsdPaperRows = 300000;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+// Scales every row by one global factor so the max squared row norm is
+// exactly `target_beta` (> 0), after dropping all-zero rows (they carry
+// no covariance mass and would break weight-proportional sampling).
+// Returns the number of dropped rows.
+size_t NormalizeRows(linalg::Matrix* rows, double target_beta, double* beta) {
+  size_t kept = 0;
+  size_t dropped = 0;
+  double max_sq = 0.0;
+  for (size_t i = 0; i < rows->rows(); ++i) {
+    const double* r = rows->Row(i);
+    double sq = 0.0;
+    for (size_t j = 0; j < rows->cols(); ++j) sq += r[j] * r[j];
+    if (sq == 0.0) {
+      ++dropped;
+      continue;
+    }
+    max_sq = std::max(max_sq, sq);
+    if (kept != i) {
+      std::memcpy(rows->Row(kept), r, rows->cols() * sizeof(double));
+    }
+    ++kept;
+  }
+  rows->ResizeRows(kept);
+  if (kept == 0 || max_sq == 0.0) {
+    *beta = 0.0;
+    return dropped;
+  }
+  if (target_beta > 0.0 && max_sq != target_beta) {
+    const double scale = std::sqrt(target_beta / max_sq);
+    for (size_t i = 0; i < rows->rows(); ++i) {
+      double* r = rows->Row(i);
+      for (size_t j = 0; j < rows->cols(); ++j) r[j] *= scale;
+    }
+    *beta = target_beta;
+  } else {
+    *beta = max_sq;
+  }
+  return dropped;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// DatasetSource.
+// ---------------------------------------------------------------------
+
+linalg::Matrix DatasetSource::Take(size_t n) {
+  // n == 0 means "everything remaining", which needs a finite source.
+  if (n == 0) DMT_CHECK_GT(info().rows, 0u);
+  constexpr size_t kChunk = 8192;
+  linalg::Matrix out;
+  size_t remaining = n == 0 ? static_cast<size_t>(-1) : n;
+  while (remaining > 0) {
+    const size_t got = NextChunk(std::min(remaining, kChunk), &out);
+    if (got == 0) break;
+    remaining -= got;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// SyntheticSource.
+// ---------------------------------------------------------------------
+
+SyntheticSource::SyntheticSource(const SyntheticMatrixConfig& config,
+                                 uint64_t total_rows, std::string name)
+    : config_(config),
+      gen_(std::make_unique<SyntheticMatrixGenerator>(config)) {
+  info_.name = std::move(name);
+  info_.origin = "synthetic";
+  info_.dim = config_.dim;
+  info_.rows = total_rows;
+  info_.beta = config_.beta;
+}
+
+size_t SyntheticSource::NextChunk(size_t max_rows, linalg::Matrix* out) {
+  DMT_CHECK_GT(max_rows, 0u);
+  size_t limit = max_rows;
+  if (info_.rows != 0) {
+    if (served_ >= info_.rows) return 0;
+    limit = static_cast<size_t>(
+        std::min<uint64_t>(max_rows, info_.rows - served_));
+  }
+  for (size_t i = 0; i < limit; ++i) {
+    const std::vector<double> row = gen_->Next();
+    out->AppendRow(row.data(), row.size());
+  }
+  served_ += limit;
+  return limit;
+}
+
+void SyntheticSource::Reset() {
+  gen_ = std::make_unique<SyntheticMatrixGenerator>(config_);
+  served_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// MaterializedSource.
+// ---------------------------------------------------------------------
+
+MaterializedSource::MaterializedSource(DatasetInfo info, linalg::Matrix rows) {
+  SetData(std::move(info), std::move(rows));
+}
+
+void MaterializedSource::SetData(DatasetInfo info, linalg::Matrix rows) {
+  info_ = std::move(info);
+  rows_ = std::move(rows);
+  if (info_.rows == 0 || info_.rows > rows_.rows()) {
+    info_.rows = rows_.rows();
+  }
+  info_.dim = rows_.cols();
+  next_ = 0;
+}
+
+size_t MaterializedSource::NextChunk(size_t max_rows, linalg::Matrix* out) {
+  DMT_CHECK_GT(max_rows, 0u);
+  const size_t available = static_cast<size_t>(info_.rows);
+  if (next_ >= available) return 0;
+  const size_t take = std::min(max_rows, available - next_);
+  // Backing rows are contiguous row-major: one bulk append.
+  out->AppendRows(rows_.Row(next_), take, rows_.cols());
+  next_ += take;
+  return take;
+}
+
+// ---------------------------------------------------------------------
+// PAMAP loader.
+// ---------------------------------------------------------------------
+
+PamapSource::PamapSource(const std::vector<std::string>& files,
+                         const RealDatasetOptions& options,
+                         std::string* error) {
+  if (files.empty()) {
+    SetError(error, "pamap: no input files");
+    return;
+  }
+  CsvParseOptions parse;
+  parse.whitespace_delimited = true;
+  parse.missing_policy = CsvParseOptions::MissingPolicy::kImpute;
+  parse.impute_value = 0.0;
+
+  linalg::Matrix rows;
+  // Column selection is decided once, from the raw width of the first
+  // parsed row, and held fixed across all files (see the header contract).
+  std::vector<size_t> keep;
+  size_t expected_raw = 0;
+  std::string bad_layout;
+  const auto on_row = [&](const std::vector<double>& raw) {
+    if (expected_raw == 0) {
+      expected_raw = raw.size();
+      if (raw.size() == kDim) {
+        for (size_t c = 0; c < kDim; ++c) keep.push_back(c);
+      } else if (raw.size() == 54) {
+        // PAMAP2 protocol layout: timestamp, activityID, heart rate, then
+        // 51 IMU columns — drop the three metadata columns, keep 44.
+        for (size_t c = 3; c < 3 + kDim; ++c) keep.push_back(c);
+      } else if (raw.size() >= kDim + 1) {
+        // Original PAMAP layout: timestamp + sensor columns.
+        for (size_t c = 1; c < 1 + kDim; ++c) keep.push_back(c);
+      } else {
+        bad_layout = "pamap: unrecognized layout (" +
+                     std::to_string(raw.size()) + " columns, need >= " +
+                     std::to_string(kDim) + ")";
+        return;
+      }
+    }
+    if (!bad_layout.empty() || raw.size() != expected_raw) return;
+    double row[kDim];
+    for (size_t c = 0; c < kDim; ++c) row[c] = raw[keep[c]];
+    rows.AppendRow(row, kDim);
+  };
+
+  std::string first_err;
+  for (const std::string& file : files) {
+    std::string file_err;
+    ForEachCsvRow(file, parse, on_row, &file_err);
+    if (!file_err.empty() && first_err.empty()) first_err = file_err;
+    if (!bad_layout.empty()) {
+      SetError(error, bad_layout);
+      return;
+    }
+  }
+  if (rows.rows() == 0) {
+    SetError(error, first_err.empty()
+                        ? "pamap: no parseable rows in " + files[0]
+                        : first_err);
+    return;
+  }
+
+  DatasetInfo info;
+  info.name = "pamap";
+  info.origin = "csv:" + files[0] +
+                (files.size() > 1
+                     ? " (+" + std::to_string(files.size() - 1) + " more)"
+                     : "");
+  NormalizeRows(&rows, options.target_beta, &info.beta);
+  info.rows = options.max_rows;
+  SetData(std::move(info), std::move(rows));
+}
+
+// ---------------------------------------------------------------------
+// MSD loader.
+// ---------------------------------------------------------------------
+
+MsdSource::MsdSource(const std::string& file,
+                     const RealDatasetOptions& options, std::string* error) {
+  CsvParseOptions parse;
+  parse.delimiter = ',';
+  parse.missing_policy = CsvParseOptions::MissingPolicy::kSkipRow;
+
+  linalg::Matrix rows;
+  size_t expected_raw = 0;
+  std::string bad_layout;
+  const auto on_row = [&](const std::vector<double>& raw) {
+    if (expected_raw == 0) {
+      expected_raw = raw.size();
+      if (raw.size() != kDim && raw.size() != kDim + 1) {
+        bad_layout = "msd: unrecognized layout (" +
+                     std::to_string(raw.size()) + " columns, expected " +
+                     std::to_string(kDim + 1) + " with the year label or " +
+                     std::to_string(kDim) + " without)";
+        return;
+      }
+    }
+    if (!bad_layout.empty() || raw.size() != expected_raw) return;
+    // Column 0 is the year label in the published file; audio features
+    // are the trailing 90 columns either way.
+    const size_t offset = expected_raw - kDim;
+    rows.AppendRow(raw.data() + offset, kDim);
+  };
+
+  std::string file_err;
+  ForEachCsvRow(file, parse, on_row, &file_err);
+  if (!bad_layout.empty()) {
+    SetError(error, bad_layout);
+    return;
+  }
+  if (rows.rows() == 0) {
+    SetError(error, file_err.empty() ? "msd: no parseable rows in " + file
+                                     : file_err);
+    return;
+  }
+
+  DatasetInfo info;
+  info.name = "msd";
+  info.origin = "csv:" + file;
+  NormalizeRows(&rows, options.target_beta, &info.beta);
+  info.rows = options.max_rows;
+  SetData(std::move(info), std::move(rows));
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<DatasetSource> MakeSynthetic(const DatasetSpec& spec,
+                                             bool msd_like,
+                                             const std::string& name,
+                                             bool fallback) {
+  const SyntheticMatrixConfig config =
+      msd_like ? SyntheticMatrixGenerator::MsdLike(spec.seed)
+               : SyntheticMatrixGenerator::PamapLike(spec.seed);
+  const uint64_t paper_rows = msd_like ? kMsdPaperRows : kPamapPaperRows;
+  auto src = std::make_unique<SyntheticSource>(
+      config, spec.max_rows != 0 ? spec.max_rows : paper_rows, name);
+  if (fallback) src->MarkAsFallback();
+  return src;
+}
+
+// Raw-file layouts accepted under <data_dir>, tried in order.
+std::vector<std::string> ResolvePamapFiles(const std::string& data_dir) {
+  const fs::path dir(data_dir);
+  for (const fs::path& sub : {dir / "pamap", dir / "PAMAP2_Dataset" / "Protocol"}) {
+    std::error_code ec;
+    if (!fs::is_directory(sub, ec)) continue;
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(sub, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".dat" || ext == ".csv" || ext == ".txt") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (!files.empty()) {
+      std::sort(files.begin(), files.end());
+      return files;
+    }
+  }
+  for (const fs::path& single : {dir / "pamap.dat", dir / "pamap.csv"}) {
+    std::error_code ec;
+    if (fs::is_regular_file(single, ec)) return {single.string()};
+  }
+  return {};
+}
+
+std::vector<std::string> ResolveMsdFiles(const std::string& data_dir) {
+  const fs::path dir(data_dir);
+  for (const fs::path& single :
+       {dir / "YearPredictionMSD.txt", dir / "msd.csv", dir / "msd.txt"}) {
+    std::error_code ec;
+    if (fs::is_regular_file(single, ec)) return {single.string()};
+  }
+  return {};
+}
+
+// Cache -> raw CSV (writing the cache) -> synthetic fallback, shared by
+// the "pamap" and "msd" entries.
+std::unique_ptr<DatasetSource> OpenReal(const DatasetSpec& spec,
+                                        const std::string& name, bool msd_like,
+                                        std::string* error) {
+  if (!spec.data_dir.empty()) {
+    const std::string cache_path =
+        (fs::path(spec.data_dir) / (name + ".dmtbin")).string();
+    std::error_code ec;
+    if (spec.use_cache && fs::is_regular_file(cache_path, ec)) {
+      std::string cache_err;
+      auto cached = std::make_unique<DmtbinSource>(cache_path, spec.max_rows,
+                                                   &cache_err);
+      if (cached->ok()) {
+        cached->set_name(name);
+        return cached;
+      }
+      std::fprintf(stderr,
+                   "dmt datasets: ignoring unreadable cache %s (%s); "
+                   "re-parsing raw files\n",
+                   cache_path.c_str(), cache_err.c_str());
+    }
+
+    const std::vector<std::string> files =
+        msd_like ? ResolveMsdFiles(spec.data_dir)
+                 : ResolvePamapFiles(spec.data_dir);
+    if (!files.empty()) {
+      RealDatasetOptions options;
+      options.max_rows = spec.max_rows;
+      std::string parse_err;
+      std::unique_ptr<MaterializedSource> src;
+      if (msd_like) {
+        src = std::make_unique<MsdSource>(files[0], options, &parse_err);
+      } else {
+        src = std::make_unique<PamapSource>(files, options, &parse_err);
+      }
+      if (src->matrix().rows() == 0) {
+        // Files are present but unusable: surface the error instead of
+        // silently substituting synthetic data.
+        SetError(error, parse_err);
+        return nullptr;
+      }
+      if (spec.use_cache) {
+        std::string write_err;
+        if (WriteDmtbin(cache_path, src->matrix(), &write_err)) {
+          std::fprintf(stderr,
+                       "dmt datasets: cached %s (%" PRIu64 " x %zu rows) — "
+                       "later runs skip CSV parsing\n",
+                       cache_path.c_str(),
+                       static_cast<uint64_t>(src->matrix().rows()),
+                       src->matrix().cols());
+        } else {
+          std::fprintf(stderr, "dmt datasets: could not write cache (%s)\n",
+                       write_err.c_str());
+        }
+      }
+      return src;
+    }
+  }
+
+  if (!spec.allow_synthetic_fallback) {
+    SetError(error, "dataset '" + name + "' not found under '" +
+                        spec.data_dir + "' and synthetic fallback disabled");
+    return nullptr;
+  }
+  std::fprintf(
+      stderr,
+      "dmt datasets: '%s' not found under '%s' — falling back to the "
+      "synthetic %s-like stream (seed %" PRIu64 "). See docs/DATASETS.md / "
+      "tools/fetch_datasets.sh for the real data.\n",
+      name.c_str(), spec.data_dir.empty() ? "(no --data-dir)" : spec.data_dir.c_str(),
+      name.c_str(), spec.seed);
+  return MakeSynthetic(spec, msd_like, name, /*fallback=*/true);
+}
+
+std::map<std::string, DatasetFactory>& FactoryMap() {
+  static auto* factories = new std::map<std::string, DatasetFactory>{
+      {"synthetic",
+       [](const DatasetSpec& s, std::string*) {
+         return MakeSynthetic(s, /*msd_like=*/false, "synthetic", false);
+       }},
+      {"synthetic-pamap",
+       [](const DatasetSpec& s, std::string*) {
+         return MakeSynthetic(s, /*msd_like=*/false, "synthetic-pamap",
+                              false);
+       }},
+      {"synthetic-msd",
+       [](const DatasetSpec& s, std::string*) {
+         return MakeSynthetic(s, /*msd_like=*/true, "synthetic-msd", false);
+       }},
+      {"pamap",
+       [](const DatasetSpec& s, std::string* e) {
+         return OpenReal(s, "pamap", /*msd_like=*/false, e);
+       }},
+      {"msd",
+       [](const DatasetSpec& s, std::string* e) {
+         return OpenReal(s, "msd", /*msd_like=*/true, e);
+       }},
+  };
+  return *factories;
+}
+
+}  // namespace
+
+std::unique_ptr<DatasetSource> OpenDataset(const DatasetSpec& spec,
+                                           std::string* error) {
+  auto& factories = FactoryMap();
+  const auto it = factories.find(spec.name);
+  if (it == factories.end()) {
+    std::string names;
+    for (const std::string& n : RegisteredDatasets()) {
+      names += (names.empty() ? "" : ", ") + n;
+    }
+    SetError(error, "unknown dataset '" + spec.name + "' (have: " + names +
+                        ")");
+    return nullptr;
+  }
+  return it->second(spec, error);
+}
+
+void RegisterDataset(const std::string& name, DatasetFactory factory) {
+  FactoryMap()[name] = std::move(factory);
+}
+
+std::vector<std::string> RegisteredDatasets() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : FactoryMap()) names.push_back(name);
+  return names;
+}
+
+DatasetSpec ParseDatasetArgs(int argc, char** argv,
+                             const DatasetSpec& defaults) {
+  DatasetSpec spec = defaults;
+  if (spec.data_dir.empty()) {
+    spec.data_dir = GetEnvString("DMT_DATA_DIR", "");
+  }
+  const auto match = [&](const char* arg, const char* flag,
+                         std::string* out) {
+    const size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0) return false;
+    if (arg[n] == '=') {
+      *out = arg + n + 1;
+      return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const bool has_next = i + 1 < argc;
+    if (match(argv[i], "--dataset", &value)) {
+      spec.name = value;
+    } else if (std::strcmp(argv[i], "--dataset") == 0 && has_next) {
+      spec.name = argv[++i];
+    } else if (match(argv[i], "--data-dir", &value)) {
+      spec.data_dir = value;
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && has_next) {
+      spec.data_dir = argv[++i];
+    } else if (match(argv[i], "--max-rows", &value) ||
+               (std::strcmp(argv[i], "--max-rows") == 0 && has_next &&
+                (value = argv[++i], true))) {
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' ||
+          value.find('-') != std::string::npos) {
+        std::fprintf(stderr,
+                     "warning: ignoring --max-rows=%s (not a non-negative "
+                     "integer)\n",
+                     value.c_str());
+      } else {
+        spec.max_rows = static_cast<size_t>(parsed);
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace data
+}  // namespace dmt

@@ -1,0 +1,247 @@
+// Dataset subsystem: one streaming interface over every row source the
+// experiments run on — the published PAMAP / YearPredictionMSD matrices,
+// their .dmtbin binary caches, and the synthetic generators used when the
+// real files are not on disk.
+//
+// The paper's headline experiments (Table 1, Figures 2-3) are defined on
+// two real matrices:
+//
+//   PAMAP              N = 629,250   d = 44   low rank (activity sensors)
+//   YearPredictionMSD  N = 300,000   d = 90   high rank (audio features)
+//
+// Neither is redistributable here, so the registry resolves a dataset
+// name against a data directory and *falls back to the matched synthetic
+// generator* (data/synthetic_matrix.h) with a clear log line when the
+// files are absent — CI and fresh checkouts never need the downloads,
+// and `tools/fetch_datasets.sh` + docs/DATASETS.md explain how to get
+// the real ones.
+//
+// Resolution order for a real dataset name under OpenDataset():
+//   1. `<data_dir>/<name>.dmtbin` row cache (data/dmtbin.h) — stream it.
+//   2. The raw published files (see PamapSource / MsdSource for the
+//      accepted layouts) — parse once, write the .dmtbin cache next to
+//      them (best effort), serve from memory.
+//   3. SyntheticSource fallback (unless the spec forbids it).
+#ifndef DMT_DATA_DATASET_H_
+#define DMT_DATA_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_matrix.h"
+#include "linalg/matrix.h"
+
+namespace dmt {
+namespace data {
+
+/// Shape and provenance of an opened dataset.
+struct DatasetInfo {
+  /// Registry name that was resolved (e.g. "pamap").
+  std::string name;
+  /// How the rows are actually served: "dmtbin:<path>", "csv:<path>",
+  /// "synthetic" — for log lines and bench headers.
+  std::string origin;
+  size_t dim = 0;      ///< columns per row
+  uint64_t rows = 0;   ///< rows this source will serve (after any cap)
+  /// Upper bound on the squared row norm (the paper's beta). 0 = unknown.
+  double beta = 0.0;
+  /// True when the registry substituted a synthetic stream for missing
+  /// real files.
+  bool synthetic_fallback = false;
+};
+
+/// A row stream with rewind. Rows are the streaming unit of every
+/// protocol in this repo; sources hand them out in row-major chunks so
+/// callers control the working-set size (the simulation driver reads one
+/// synchronization window at a time).
+class DatasetSource {
+ public:
+  virtual ~DatasetSource() = default;
+
+  /// Shape/provenance. Constant over the source's lifetime.
+  virtual const DatasetInfo& info() const = 0;
+
+  /// Columns per row (shorthand for info().dim).
+  size_t dim() const { return info().dim; }
+
+  /// Appends up to `max_rows` rows (must be > 0) to `*out`, which keeps
+  /// its column count (dim) across calls. Returns the number appended;
+  /// 0 means the stream is exhausted. Chunk boundaries carry no meaning:
+  /// any chunking yields the same concatenated row sequence.
+  virtual size_t NextChunk(size_t max_rows, linalg::Matrix* out) = 0;
+
+  /// Rewinds to the first row. A Reset() replay yields bit-identical
+  /// rows — the property that lets one source feed several protocols the
+  /// same stream (and lets benches make a truth pass first).
+  virtual void Reset() = 0;
+
+  /// Materializes min(n, remaining) rows from the current position
+  /// (n = 0: everything remaining; forbidden on unbounded sources).
+  linalg::Matrix Take(size_t n);
+};
+
+// ---------------------------------------------------------------------
+// Concrete sources.
+// ---------------------------------------------------------------------
+
+/// DatasetSource over the synthetic generators — the automatic fallback
+/// when a data directory is absent, and the explicit "synthetic*"
+/// registry entries. Reset() re-seeds the generator, so replays are
+/// bit-identical.
+class SyntheticSource : public DatasetSource {
+ public:
+  /// Serves `total_rows` rows drawn from a generator with `config`
+  /// (total_rows = 0 keeps the source unbounded — NextChunk never
+  /// returns short; callers must cap).
+  SyntheticSource(const SyntheticMatrixConfig& config, uint64_t total_rows,
+                  std::string name = "synthetic");
+
+  const DatasetInfo& info() const override { return info_; }
+  size_t NextChunk(size_t max_rows, linalg::Matrix* out) override;
+  void Reset() override;
+
+  /// Flags this source in info() as a stand-in for missing real files
+  /// (set by the registry when it substitutes).
+  void MarkAsFallback() { info_.synthetic_fallback = true; }
+
+ private:
+  DatasetInfo info_;
+  SyntheticMatrixConfig config_;
+  std::unique_ptr<SyntheticMatrixGenerator> gen_;
+  uint64_t served_ = 0;
+};
+
+/// DatasetSource over rows already in memory (the CSV loaders below
+/// parse whole files, then serve from here).
+class MaterializedSource : public DatasetSource {
+ public:
+  /// `info.rows` is clamped to the matrix's row count.
+  MaterializedSource(DatasetInfo info, linalg::Matrix rows);
+
+  const DatasetInfo& info() const override { return info_; }
+  size_t NextChunk(size_t max_rows, linalg::Matrix* out) override;
+  void Reset() override { next_ = 0; }
+
+  /// The full backing matrix (uncapped), e.g. for writing a .dmtbin cache.
+  const linalg::Matrix& matrix() const { return rows_; }
+
+ protected:
+  /// For loader subclasses: construct empty, then SetData() once parsing
+  /// succeeds (a failed loader stays at rows() == 0).
+  MaterializedSource() = default;
+  void SetData(DatasetInfo info, linalg::Matrix rows);
+
+ private:
+  DatasetInfo info_;
+  linalg::Matrix rows_;
+  size_t next_ = 0;
+};
+
+/// Shared knobs of the real-CSV loaders.
+struct RealDatasetOptions {
+  /// Cap on rows served (the files are always parsed whole so the
+  /// .dmtbin cache is complete). 0 = no cap.
+  size_t max_rows = 0;
+  /// After parsing, all rows are scaled by one global factor so the
+  /// maximum squared row norm equals this bound (the paper's protocols
+  /// assume row norms bounded by beta; the reported error metric is
+  /// scale-invariant, so this loses nothing). 0 disables normalization.
+  double target_beta = 100.0;
+};
+
+/// PAMAP loader (physical-activity monitoring; the paper's low-rank
+/// matrix, d = 44). Accepts the whitespace-delimited .dat layouts:
+///  * 45+ columns: column 0 (timestamp) is dropped;
+///  * exactly 54 columns (the PAMAP2 protocol files): columns 1
+///    (activityID) and 2 (heart rate, mostly missing) are dropped too;
+/// then the first 44 remaining columns are kept. Missing cells (literal
+/// "NaN") are imputed as 0 per docs/DATASETS.md. Multiple files (e.g.
+/// one per subject) are concatenated in the order given.
+class PamapSource : public MaterializedSource {
+ public:
+  /// Columns of the PAMAP matrix in the paper.
+  static constexpr size_t kDim = 44;
+
+  /// Parses `files`; on failure (no readable rows, unrecognized layout)
+  /// the source has rows() == 0 and `*error` (when non-null) is set.
+  explicit PamapSource(const std::vector<std::string>& files,
+                       const RealDatasetOptions& options = {},
+                       std::string* error = nullptr);
+};
+
+/// YearPredictionMSD loader (million-song audio features; the paper's
+/// high-rank matrix, d = 90). Accepts the published comma-separated
+/// layout of 91 columns — column 0 (the year label) is dropped — or a
+/// pre-stripped 90-column file. Rows with missing cells are skipped
+/// (the published file has none).
+class MsdSource : public MaterializedSource {
+ public:
+  /// Columns of the MSD matrix in the paper.
+  static constexpr size_t kDim = 90;
+
+  explicit MsdSource(const std::string& file,
+                     const RealDatasetOptions& options = {},
+                     std::string* error = nullptr);
+};
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+/// What to open and how. Benches fill this from --dataset / --data-dir
+/// (see ParseDatasetArgs).
+struct DatasetSpec {
+  /// Registry key: "pamap", "msd", "synthetic" (PAMAP-like),
+  /// "synthetic-pamap", "synthetic-msd", or a RegisterDataset() name.
+  std::string name = "synthetic";
+  /// Directory holding raw files and .dmtbin caches. Empty = no real
+  /// data (real names then fall back to synthetic).
+  std::string data_dir;
+  /// Cap on rows served; 0 = dataset size (synthetic: the paper's N).
+  size_t max_rows = 0;
+  /// Seed for synthetic sources/fallbacks.
+  uint64_t seed = 42;
+  /// Substitute the matched synthetic stream (with a stderr log line)
+  /// when the real files are missing; when false, OpenDataset returns
+  /// nullptr instead.
+  bool allow_synthetic_fallback = true;
+  /// Read `<data_dir>/<name>.dmtbin` when present and write it after a
+  /// raw-CSV parse (best effort).
+  bool use_cache = true;
+};
+
+/// Opens a dataset by name. Returns nullptr and sets `*error` (when
+/// non-null) for unknown names, unreadable/corrupt files, or a missing
+/// real dataset with fallback disabled. Fallback substitution logs one
+/// clear line to stderr.
+std::unique_ptr<DatasetSource> OpenDataset(const DatasetSpec& spec,
+                                           std::string* error = nullptr);
+
+/// Extension hook: registers (or replaces) a named opener. Not
+/// thread-safe against concurrent OpenDataset calls — register at
+/// startup.
+using DatasetFactory =
+    std::function<std::unique_ptr<DatasetSource>(const DatasetSpec&,
+                                                 std::string*)>;
+void RegisterDataset(const std::string& name, DatasetFactory factory);
+
+/// Sorted names OpenDataset currently accepts (built-ins + registered).
+std::vector<std::string> RegisteredDatasets();
+
+/// Fills a spec from command-line flags: `--dataset NAME`,
+/// `--data-dir PATH`, `--max-rows N` (both `--flag value` and
+/// `--flag=value` forms). When --data-dir is absent, the DMT_DATA_DIR
+/// environment variable supplies the default. Unrelated flags are
+/// ignored (benches parse --threads/--chunk separately).
+DatasetSpec ParseDatasetArgs(int argc, char** argv,
+                             const DatasetSpec& defaults = {});
+
+}  // namespace data
+}  // namespace dmt
+
+#endif  // DMT_DATA_DATASET_H_

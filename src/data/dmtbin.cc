@@ -1,0 +1,168 @@
+#include "data/dmtbin.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dmt {
+namespace data {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'M', 'T', 'B', 'I', 'N', '\0', 0x01};
+
+// Fixed-width little-endian field codecs. The repo only targets
+// little-endian hosts (x86-64 / AArch64), so these are raw memcpys; the
+// explicit width keeps the on-disk layout independent of host types.
+template <typename T>
+void PutField(char* header, size_t offset, T value) {
+  std::memcpy(header + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T GetField(const char* header, size_t offset) {
+  T value;
+  std::memcpy(&value, header + offset, sizeof(T));
+  return value;
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool WriteDmtbin(const std::string& path, const linalg::Matrix& rows,
+                 std::string* error) {
+  if (rows.empty()) {
+    SetError(error, "dmtbin: refusing to write an empty matrix to " + path);
+    return false;
+  }
+  double beta = 0.0;
+  double frob_sq = 0.0;
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    const double* r = rows.Row(i);
+    double sq = 0.0;
+    for (size_t j = 0; j < rows.cols(); ++j) sq += r[j] * r[j];
+    beta = std::max(beta, sq);
+    frob_sq += sq;
+  }
+
+  char header[kDmtbinHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  PutField<uint32_t>(header, 8, kDmtbinVersion);
+  PutField<uint32_t>(header, 12, static_cast<uint32_t>(rows.cols()));
+  PutField<uint64_t>(header, 16, static_cast<uint64_t>(rows.rows()));
+  PutField<double>(header, 24, beta);
+  PutField<double>(header, 32, frob_sq);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    SetError(error, "dmtbin: cannot open " + path + " for writing");
+    return false;
+  }
+  out.write(header, sizeof(header));
+  // Matrix rows are contiguous row-major, so the payload is one write.
+  out.write(reinterpret_cast<const char*>(rows.Row(0)),
+            static_cast<std::streamsize>(rows.rows() * rows.cols() *
+                                         sizeof(double)));
+  out.flush();
+  if (!out.good()) {
+    SetError(error, "dmtbin: short write to " + path);
+    return false;
+  }
+  return true;
+}
+
+bool ReadDmtbinInfo(const std::string& path, DmtbinInfo* info,
+                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    SetError(error, "dmtbin: cannot open " + path);
+    return false;
+  }
+  char header[kDmtbinHeaderBytes];
+  in.read(header, sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    SetError(error, "dmtbin: " + path + " is shorter than the header");
+    return false;
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    SetError(error, "dmtbin: " + path + " has a bad magic (not a .dmtbin)");
+    return false;
+  }
+  DmtbinInfo parsed;
+  parsed.version = GetField<uint32_t>(header, 8);
+  parsed.dim = GetField<uint32_t>(header, 12);
+  parsed.rows = GetField<uint64_t>(header, 16);
+  parsed.beta = GetField<double>(header, 24);
+  parsed.frob_sq = GetField<double>(header, 32);
+  if (parsed.version != kDmtbinVersion) {
+    SetError(error, "dmtbin: " + path + " has unsupported version " +
+                        std::to_string(parsed.version));
+    return false;
+  }
+  if (parsed.dim == 0) {
+    SetError(error, "dmtbin: " + path + " declares dim == 0");
+    return false;
+  }
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<uint64_t>(in.tellg());
+  const uint64_t expected =
+      kDmtbinHeaderBytes + parsed.rows * parsed.dim * sizeof(double);
+  if (size != expected) {
+    SetError(error, "dmtbin: " + path + " is truncated or corrupt (" +
+                        std::to_string(size) + " bytes, header implies " +
+                        std::to_string(expected) + ")");
+    return false;
+  }
+  if (info != nullptr) *info = parsed;
+  return true;
+}
+
+DmtbinSource::DmtbinSource(const std::string& path, size_t max_rows,
+                           std::string* error) {
+  DmtbinInfo h;
+  if (!ReadDmtbinInfo(path, &h, error)) return;
+  in_.open(path, std::ios::binary);
+  if (!in_.is_open()) {
+    SetError(error, "dmtbin: cannot open " + path);
+    return;
+  }
+  in_.seekg(kDmtbinHeaderBytes);
+  info_.origin = "dmtbin:" + path;
+  info_.dim = h.dim;
+  info_.rows = max_rows == 0
+                   ? h.rows
+                   : std::min<uint64_t>(h.rows, max_rows);
+  info_.beta = h.beta;
+  ok_ = true;
+}
+
+size_t DmtbinSource::NextChunk(size_t max_rows, linalg::Matrix* out) {
+  DMT_CHECK_GT(max_rows, 0u);
+  if (!ok_ || served_ >= info_.rows) return 0;
+  const size_t take = static_cast<size_t>(
+      std::min<uint64_t>(max_rows, info_.rows - served_));
+  // One bulk read per chunk (the cache exists to make repeat runs fast).
+  row_buf_.resize(take * info_.dim);
+  in_.read(reinterpret_cast<char*>(row_buf_.data()),
+           static_cast<std::streamsize>(row_buf_.size() * sizeof(double)));
+  // The constructor verified the byte size, so a short read here is an
+  // I/O failure, not expected end-of-data.
+  DMT_CHECK_EQ(in_.gcount(), static_cast<std::streamsize>(row_buf_.size() *
+                                                          sizeof(double)));
+  out->AppendRows(row_buf_.data(), take, info_.dim);
+  served_ += take;
+  return take;
+}
+
+void DmtbinSource::Reset() {
+  if (!ok_) return;
+  in_.clear();
+  in_.seekg(kDmtbinHeaderBytes);
+  served_ = 0;
+}
+
+}  // namespace data
+}  // namespace dmt

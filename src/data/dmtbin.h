@@ -1,0 +1,100 @@
+// .dmtbin — the binary row cache for real datasets.
+//
+// Parsing the published PAMAP / MSD CSVs costs far more than streaming
+// the rows, so the first OpenDataset() over the raw files converts them
+// once into this format; every later bench run streams the cache and
+// skips CSV parsing entirely.
+//
+// Layout (little-endian, fixed 64-byte header, mmap-friendly: the
+// payload starts at a 64-byte-aligned offset and is a plain row-major
+// double array):
+//
+//   offset  size  field
+//        0     8  magic "DMTBIN\0" + format byte 0x01
+//        8     4  version  (uint32, currently 1)
+//       12     4  dim      (uint32, columns per row, >= 1)
+//       16     8  rows     (uint64)
+//       24     8  beta     (double, max squared row norm over the payload)
+//       32     8  frob_sq  (double, sum of all squared entries; reload
+//                           integrity check alongside the size check)
+//       40    24  reserved (zero)
+//       64   8*rows*dim    row-major IEEE-754 doubles
+//
+// A reader must reject a wrong magic/version, dim == 0, and any file
+// whose byte size differs from 64 + 8*rows*dim (truncation check).
+#ifndef DMT_DATA_DMTBIN_H_
+#define DMT_DATA_DMTBIN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include <fstream>
+#include <string>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace dmt {
+namespace data {
+
+/// Payload offset and header size in bytes.
+inline constexpr size_t kDmtbinHeaderBytes = 64;
+/// Current format version written by WriteDmtbin().
+inline constexpr uint32_t kDmtbinVersion = 1;
+
+/// Decoded .dmtbin header.
+struct DmtbinInfo {
+  uint32_t version = 0;
+  size_t dim = 0;
+  uint64_t rows = 0;
+  double beta = 0.0;     ///< max squared row norm over the payload
+  double frob_sq = 0.0;  ///< total squared Frobenius mass of the payload
+};
+
+/// Writes `rows` (all of them) as a .dmtbin file, computing the header's
+/// beta / frob_sq fields from the data. Returns false and sets `*error`
+/// (when non-null) on I/O failure or an empty matrix.
+bool WriteDmtbin(const std::string& path, const linalg::Matrix& rows,
+                 std::string* error = nullptr);
+
+/// Reads and validates only the header. Returns false and sets `*error`
+/// (when non-null) on open failure, bad magic/version, dim == 0, or a
+/// byte size inconsistent with rows*dim (truncated/corrupt file).
+bool ReadDmtbinInfo(const std::string& path, DmtbinInfo* info,
+                    std::string* error = nullptr);
+
+/// Streaming DatasetSource over a .dmtbin file: NextChunk() reads
+/// straight from disk, Reset() seeks back to the payload start, so a
+/// cached dataset never needs to be held in memory whole.
+class DmtbinSource : public DatasetSource {
+ public:
+  /// Opens `path`, validating the header. `max_rows` > 0 caps the rows
+  /// served (the file itself is untouched). On failure ok() is false and
+  /// `*error` (when non-null) holds the reason.
+  explicit DmtbinSource(const std::string& path, size_t max_rows = 0,
+                        std::string* error = nullptr);
+
+  /// False when the constructor rejected the file; the source then serves
+  /// zero rows.
+  bool ok() const { return ok_; }
+
+  /// Display name shown in info() (the registry stamps the dataset name
+  /// it resolved, e.g. "pamap").
+  void set_name(const std::string& name) { info_.name = name; }
+
+  const DatasetInfo& info() const override { return info_; }
+  size_t NextChunk(size_t max_rows, linalg::Matrix* out) override;
+  void Reset() override;
+
+ private:
+  bool ok_ = false;
+  DatasetInfo info_;
+  std::ifstream in_;
+  uint64_t served_ = 0;
+  std::vector<double> row_buf_;
+};
+
+}  // namespace data
+}  // namespace dmt
+
+#endif  // DMT_DATA_DMTBIN_H_

@@ -16,6 +16,19 @@ namespace hh {
 
 /// A distributed weighted heavy-hitters tracking protocol: items arrive at
 /// sites; the coordinator continuously answers weight queries.
+///
+/// Approximation contract (paper Section 4): with W the total stream
+/// weight so far, at all times and for every element e,
+///
+///   |EstimateElementWeight(e) − w(e)| ≤ ε·W,
+///
+/// so every true φ-heavy hitter (w(e) ≥ φW) passes the report rule of
+/// HeavyHitters() and nothing below (φ − ε)W does. The randomized
+/// protocols (P3/P4) meet the bound with constant probability per
+/// query. Weights are positive reals in [1, β] with β known to all
+/// sites; communication is counted in messages (stream::CommStats) —
+/// one site→coordinator report or one per-receiver broadcast each
+/// count 1.
 class HeavyHitterProtocol {
  public:
   virtual ~HeavyHitterProtocol() = default;
@@ -47,10 +60,13 @@ class HeavyHitterProtocol {
   /// run concurrently for distinct sites.
   virtual bool SupportsConcurrentSiteUpdates() const { return false; }
 
-  /// Coordinator's current estimate of element's total weight.
+  /// Coordinator's current estimate of element's total weight; within
+  /// ε·W of the truth per the class contract. Returns 0 for untracked
+  /// elements (correct up to the same bound).
   virtual double EstimateElementWeight(uint64_t element) const = 0;
 
-  /// Coordinator's current estimate of the total stream weight W.
+  /// Coordinator's current estimate of the total stream weight W
+  /// (within a (1 ± ε) factor for the threshold-style protocols).
   virtual double EstimateTotalWeight() const = 0;
 
   /// Communication counters so far.

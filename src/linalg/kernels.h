@@ -86,8 +86,10 @@ void GramNaive(const double* a, size_t n, size_t d, double* g);
 // Rank-1 updates.
 // ---------------------------------------------------------------------
 
-/// g += alpha * v v^T for one vector (g d x d, full update, no mirror
-/// needed). The workhorse of incremental Gram maintenance.
+/// g += alpha * v v^T for one vector (v length d, g d x d, full update,
+/// no mirror needed; v must not alias g). The workhorse of incremental
+/// Gram maintenance. alpha may be negative (e.g. sliding-window
+/// retractions); symmetry of g is preserved exactly.
 void Rank1Update(double alpha, const double* v, double* g, size_t d);
 
 /// Batched symmetric rank-1 updates: g += sum_t alphas[t] * r_t r_t^T,
@@ -106,7 +108,9 @@ void BatchedRank1(const double* rows, const double* alphas, size_t count,
 /// sides stream cache lines. `out` must not alias `a`.
 void Transpose(const double* a, size_t rows, size_t cols, double* out);
 
-/// sum_i (row_i . x)^2 over the n rows of a (n x d), x length d.
+/// sum_i (row_i . x)^2 over the n rows of a (n x d), x length d — i.e.
+/// ‖A·x‖², the directional mass every FD error bound is stated in. One
+/// pass over a, no workspace.
 double SquaredNormAlong(const double* a, size_t n, size_t d,
                         const double* x);
 

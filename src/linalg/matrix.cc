@@ -66,6 +66,15 @@ void Matrix::AppendRows(const Matrix& other) {
   rows_ += other.rows_;
 }
 
+void Matrix::AppendRows(const double* rows, size_t n, size_t cols) {
+  if (n == 0) return;
+  DMT_CHECK_GT(cols, 0u);
+  if (rows_ == 0 && cols_ == 0) cols_ = cols;
+  DMT_CHECK_EQ(cols, cols_);
+  data_.insert(data_.end(), rows, rows + n * cols);
+  rows_ += n;
+}
+
 void Matrix::ReserveRows(size_t rows) { data_.reserve(rows * cols_); }
 
 void Matrix::ResizeRows(size_t rows) {

@@ -52,6 +52,12 @@ class Matrix {
   /// first append). Self-append is safe and doubles the matrix.
   void AppendRows(const Matrix& other);
 
+  /// Appends `n` rows copied from a contiguous row-major block of
+  /// n * cols doubles in one bulk insert (sets cols on first append;
+  /// `rows` must not alias this matrix's storage). The bulk-ingest path
+  /// of the dataset loaders and the .dmtbin cache reader.
+  void AppendRows(const double* rows, size_t n, size_t cols);
+
   /// Reserves storage for at least `rows` rows (cols must be known), so
   /// subsequent AppendRow calls up to that count never reallocate.
   void ReserveRows(size_t rows);

@@ -16,7 +16,24 @@ namespace matrix {
 
 /// A distributed matrix tracking protocol: rows arrive at sites; the
 /// coordinator continuously maintains a small approximation B of the
-/// stacked stream matrix A such that |‖Ax‖² − ‖Bx‖²| ≤ ε‖A‖²_F.
+/// stacked stream matrix A.
+///
+/// Approximation contract (paper Section 5): at all times and for every
+/// unit vector x,
+///
+///   |‖Ax‖² − ‖Bx‖²| ≤ ε‖A‖²_F,
+///
+/// equivalently ‖AᵀA − BᵀB‖₂ ≤ ε‖A‖²_F — the metric
+/// matrix::CovarianceError reports as `err` (dimensionless, relative to
+/// the stream's total squared Frobenius mass). The one-sided protocols
+/// (MP1/MP2, built on Frequent Directions) additionally never
+/// overestimate: 0 ≤ ‖Ax‖² − ‖Bx‖².
+///
+/// Row weights are squared Euclidean norms; the analysis assumes
+/// ‖row‖² ∈ (0, β] with β known to all sites (datasets are normalized
+/// to β = 100 — see docs/DATASETS.md). Communication is counted in
+/// *messages* (stream::CommStats), the paper's unit: one site→coordinator
+/// report or one coordinator→sites broadcast each count 1 per receiver.
 class MatrixTrackingProtocol {
  public:
   virtual ~MatrixTrackingProtocol() = default;
@@ -48,7 +65,9 @@ class MatrixTrackingProtocol {
   /// run concurrently for distinct sites.
   virtual bool SupportsConcurrentSiteUpdates() const { return false; }
 
-  /// The coordinator's current approximation B (rows stacked).
+  /// The coordinator's current approximation B (rows stacked; at most
+  /// O(1/ε) rows of dimension d). Safe to call only between rounds /
+  /// after the run, like comm_stats().
   virtual linalg::Matrix CoordinatorSketch() const = 0;
 
   /// B^T B. Default derives it from the sketch; protocols that maintain a

@@ -52,7 +52,8 @@ class FrequentDirections {
   /// infer the dimension from the first appended row.
   explicit FrequentDirections(size_t ell, size_t dim = 0);
 
-  /// Sketch sized so the directional error is <= eps * ||A||_F^2.
+  /// Sketch sized so the directional error is <= eps * ||A||_F^2
+  /// (ell = ceil(1/eps), so ||A||_F^2/(ell+1) < eps * ||A||_F^2; eps > 0).
   static FrequentDirections WithEpsilon(double eps, size_t dim = 0);
 
   /// Appends one row of the stream matrix.
@@ -65,7 +66,10 @@ class FrequentDirections {
   /// the sketch buffer is safe.
   void AppendRows(const linalg::Matrix& rows);
 
-  /// Merges another FD sketch (same ell) into this one.
+  /// Merges another FD sketch (same ell) into this one. Mergeability
+  /// [Agarwal et al. 2012]: the errors add, so the combined sketch
+  /// satisfies the class bound for A1 stacked on A2 with no loss over
+  /// sketching the concatenated stream directly.
   void Merge(const FrequentDirections& other);
 
   /// Forces compression down to <= ell rows (a query-time convenience; the
@@ -76,7 +80,9 @@ class FrequentDirections {
   /// if a hard ell-row budget is required).
   const linalg::Matrix& sketch() const { return buffer_; }
 
-  /// ||B x||^2 for unit-vector queries.
+  /// ‖Bx‖² for unit-vector queries (x length dim()). Guarantee: for the
+  /// stream matrix A, 0 ≤ ‖Ax‖² − ‖Bx‖² ≤ total_shrinkage()
+  ///                                     ≤ stream_squared_frobenius()/(ell+1).
   double SquaredNormAlong(const std::vector<double>& x) const;
 
   /// B^T B of the current sketch.

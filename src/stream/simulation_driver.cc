@@ -182,5 +182,86 @@ void SimulationDriver::Run(matrix::MatrixTrackingProtocol* protocol,
           protocol->SupportsConcurrentSiteUpdates());
 }
 
+size_t SimulationDriver::Run(matrix::MatrixTrackingProtocol* protocol,
+                             Router* router, data::DatasetSource* source,
+                             size_t max_rows) {
+  DMT_CHECK(router != nullptr);
+  DMT_CHECK(source != nullptr);
+  // An unbounded source (synthetic with no row budget) never returns a
+  // short chunk, so "feed until exhaustion" would not terminate.
+  DMT_CHECK(max_rows > 0 || source->info().rows > 0);
+
+  const size_t num_sites = router->num_sites();
+  const bool concurrent =
+      protocol->SupportsConcurrentSiteUpdates() && pool_ != nullptr;
+  const size_t chunk = options_.chunk_elements;
+  // Same bootstrap rationale as RunImpl: a short first round bounds the
+  // zero-threshold startup traffic to O(num_sites). RunImpl derives
+  // num_sites from the materialized assignment (max site + 1); here the
+  // router declares it up front — identical once every site receives at
+  // least one arrival.
+  const size_t bootstrap = std::min(chunk, num_sites);
+
+  linalg::Matrix window;                       // rows of the current window
+  std::vector<size_t> sites;                   // site of window row i
+  std::vector<std::vector<uint32_t>> per_site(num_sites);
+  std::vector<std::future<void>> futures;
+  size_t fed = 0;
+  bool first = true;
+  while (max_rows == 0 || fed < max_rows) {
+    size_t want = first ? bootstrap : chunk;
+    if (max_rows != 0) want = std::min(want, max_rows - fed);
+    window.ClearRows();
+    const size_t got = source->NextChunk(want, &window);
+    if (got == 0) break;
+    DMT_CHECK_LE(got, std::numeric_limits<uint32_t>::max());
+
+    sites.resize(got);
+    for (auto& list : per_site) list.clear();
+    for (size_t i = 0; i < got; ++i) {
+      sites[i] = router->NextSite();
+      DMT_CHECK_LT(sites[i], num_sites);
+      per_site[sites[i]].push_back(static_cast<uint32_t>(i));
+    }
+
+    // Site phase: within the window each site processes exactly its
+    // arrivals in stream order, touching only per-site state — the same
+    // contract as RunImpl's chunk loop.
+    const auto run_site = [&](size_t s) {
+      std::vector<double> site_row(window.cols());
+      for (uint32_t i : per_site[s]) {
+        std::memcpy(site_row.data(), window.Row(i),
+                    window.cols() * sizeof(double));
+        protocol->SiteUpdate(s, site_row);
+      }
+    };
+    if (concurrent) {
+      futures.clear();
+      for (size_t s = 0; s < num_sites; ++s) {
+        if (per_site[s].empty()) continue;
+        futures.push_back(pool_->Submit([&run_site, s] { run_site(s); }));
+      }
+      // Await every task even when one throws (see RunImpl).
+      std::exception_ptr first_error;
+      for (auto& f : futures) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    } else {
+      for (size_t s = 0; s < num_sites; ++s) {
+        if (!per_site[s].empty()) run_site(s);
+      }
+    }
+    protocol->Synchronize();
+    fed += got;
+    first = false;
+  }
+  return fed;
+}
+
 }  // namespace stream
 }  // namespace dmt

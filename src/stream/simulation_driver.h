@@ -39,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "data/dataset.h"
 #include "hh/hh_protocol.h"
 #include "matrix/matrix_protocol.h"
 #include "stream/router.h"
@@ -110,6 +111,20 @@ class SimulationDriver {
   void Run(matrix::MatrixTrackingProtocol* protocol,
            const std::vector<size_t>& sites,
            const std::vector<std::vector<double>>& rows);
+
+  /// Streams rows straight from a dataset source (data/dataset.h) without
+  /// materializing the whole stream: each synchronization window reads
+  /// its rows via NextChunk() and assigns sites from `router` in stream
+  /// order, so at most one window (`chunk_elements` rows) is in memory.
+  /// The schedule — bootstrap window of min(chunk_elements,
+  /// router->num_sites()) arrivals, then full chunks, coordinator
+  /// Synchronize() at every boundary — matches the materialized Run(),
+  /// and results are bit-identical to it (and across thread counts) for
+  /// the same router sequence and rows. Feeds until `max_rows` rows
+  /// (0 = until the source is exhausted; the source must then be finite)
+  /// and returns the number of rows actually fed.
+  size_t Run(matrix::MatrixTrackingProtocol* protocol, Router* router,
+             data::DatasetSource* source, size_t max_rows = 0);
 
  private:
   template <typename Protocol, typename Item>

@@ -126,6 +126,55 @@ TEST(CsvMissingFileTest, ReturnsEmptyMatrix) {
   EXPECT_TRUE(m.empty());
 }
 
+TEST_F(CsvTest, ImputePolicySubstitutesMissingCells) {
+  WriteFile("1,NaN,3\n4,,6\n");
+  CsvParseOptions options;
+  options.missing_policy = CsvParseOptions::MissingPolicy::kImpute;
+  options.impute_value = -1.0;
+  linalg::Matrix m = LoadCsvFiltered(path_, options);
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+// Regression: under kImpute, a fully non-numeric header line used to be
+// "imputed" into an all-zero row, locking the expected width onto the
+// header's token count and rejecting every real row after it.
+TEST_F(CsvTest, ImputePolicyStillSkipsTextHeaderLines) {
+  WriteFile("colA,colB,colC\n1,NaN,3\n4,5,6\n");
+  CsvParseOptions options;
+  options.missing_policy = CsvParseOptions::MissingPolicy::kImpute;
+  linalg::Matrix m = LoadCsvFiltered(path_, options);
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);  // imputed
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST_F(CsvTest, KeepColumnsSelectsAndReorders) {
+  WriteFile("1,2,3,4\n5,6,7,8\n");
+  CsvParseOptions options;
+  options.keep_columns = {2, 0};
+  linalg::Matrix m = LoadCsvFiltered(path_, options);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST_F(CsvTest, WhitespaceDelimitedSplitsOnRuns) {
+  WriteFile("1   2\t3\n  4 5  6 \n");
+  CsvParseOptions options;
+  options.whitespace_delimited = true;
+  linalg::Matrix m = LoadCsvFiltered(path_, options);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace dmt

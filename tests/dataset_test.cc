@@ -1,0 +1,347 @@
+// Dataset subsystem tests: golden-fixture parsing of the PAMAP / MSD
+// layouts, CSV -> .dmtbin -> reload bit-identity, registry resolution
+// with synthetic fallback, and the driver's streaming row feed.
+//
+// The golden fixtures are tiny checked-in files in the published formats
+// (tests/testdata/, path injected as DMT_TESTDATA_DIR by CMake).
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/dmtbin.h"
+#include "matrix/error.h"
+#include "matrix/mp2_svd_threshold.h"
+#include "stream/router.h"
+#include "stream/simulation_driver.h"
+
+namespace dmt {
+namespace data {
+namespace {
+
+std::string TestDataPath(const std::string& name) {
+  return std::string(DMT_TESTDATA_DIR) + "/" + name;
+}
+
+// Unique scratch directory per test case (ctest runs cases in parallel),
+// wiped on entry so reruns start clean.
+std::string ScratchDir() {
+  const std::string dir =
+      ::testing::TempDir() + "/dmt_dataset_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+bool BitIdentical(const linalg::Matrix& a, const linalg::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.Row(0), b.Row(0),
+                     a.rows() * a.cols() * sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------------------- PAMAP
+
+TEST(PamapSourceTest, ParsesOriginalLayoutFixture) {
+  RealDatasetOptions options;
+  options.target_beta = 0.0;  // raw values: check the parse itself
+  std::string error;
+  PamapSource source({TestDataPath("pamap_tiny.dat")}, options, &error);
+  ASSERT_EQ(source.matrix().rows(), 6u) << error;
+  EXPECT_EQ(source.dim(), PamapSource::kDim);
+  // Row 0: timestamp 0.00 dropped; first kept cell is raw column 1.
+  EXPECT_DOUBLE_EQ(source.matrix()(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(source.matrix()(0, 43), 0.5 + 43 * 0.25);
+  // Row 2 carries a literal NaN at kept column 4: imputed as 0.
+  EXPECT_DOUBLE_EQ(source.matrix()(2, 4), 0.0);
+  EXPECT_DOUBLE_EQ(source.matrix()(2, 5), 1.5 + 5 * 0.25);
+}
+
+TEST(PamapSourceTest, ParsesPamap2LayoutDroppingMetadata) {
+  RealDatasetOptions options;
+  options.target_beta = 0.0;
+  std::string error;
+  PamapSource source({TestDataPath("pamap2_tiny.dat")}, options, &error);
+  ASSERT_EQ(source.matrix().rows(), 4u) << error;
+  EXPECT_EQ(source.dim(), PamapSource::kDim);
+  // 54-column layout: timestamp, activityID, heart rate dropped; the
+  // first kept cell is raw column 3 = (i+2)*0.1.
+  EXPECT_DOUBLE_EQ(source.matrix()(0, 0), 0.2);
+  EXPECT_DOUBLE_EQ(source.matrix()(3, 0), 0.5);
+}
+
+TEST(PamapSourceTest, NormalizationBoundsSquaredRowNorms) {
+  std::string error;
+  PamapSource source({TestDataPath("pamap_tiny.dat")}, {}, &error);
+  ASSERT_GT(source.matrix().rows(), 0u) << error;
+  EXPECT_DOUBLE_EQ(source.info().beta, 100.0);
+  double max_sq = 0.0;
+  for (size_t i = 0; i < source.matrix().rows(); ++i) {
+    double sq = 0.0;
+    for (size_t j = 0; j < source.matrix().cols(); ++j) {
+      sq += source.matrix()(i, j) * source.matrix()(i, j);
+    }
+    max_sq = std::max(max_sq, sq);
+  }
+  EXPECT_NEAR(max_sq, 100.0, 1e-9);
+}
+
+TEST(PamapSourceTest, ConcatenatesMultipleFiles) {
+  RealDatasetOptions options;
+  options.target_beta = 0.0;
+  std::string error;
+  PamapSource source(
+      {TestDataPath("pamap_tiny.dat"), TestDataPath("pamap_tiny.dat")},
+      options, &error);
+  EXPECT_EQ(source.matrix().rows(), 12u) << error;
+}
+
+TEST(PamapSourceTest, RejectsTooFewColumns) {
+  const std::string dir = ScratchDir();
+  const std::string path = dir + "/narrow.dat";
+  std::ofstream(path) << "1.0 2.0 3.0\n4.0 5.0 6.0\n";
+  std::string error;
+  PamapSource source({path}, {}, &error);
+  EXPECT_EQ(source.matrix().rows(), 0u);
+  EXPECT_NE(error.find("unrecognized layout"), std::string::npos);
+}
+
+// Regression: a text header line must not poison the layout detection
+// (the NaN-imputing parse used to deliver it as an all-zero row).
+TEST(PamapSourceTest, IgnoresTextHeaderLine) {
+  const std::string dir = ScratchDir();
+  const std::string path = dir + "/with_header.dat";
+  {
+    std::ifstream fixture(TestDataPath("pamap_tiny.dat"));
+    std::ofstream out(path);
+    out << "timestamp hand_acc_x hand_acc_y hand_acc_z gyro_x gyro_y\n";
+    out << fixture.rdbuf();
+  }
+  RealDatasetOptions options;
+  options.target_beta = 0.0;
+  std::string error;
+  PamapSource source({path}, options, &error);
+  ASSERT_EQ(source.matrix().rows(), 6u) << error;
+  EXPECT_DOUBLE_EQ(source.matrix()(0, 0), 0.5);
+}
+
+TEST(PamapSourceTest, ReportsMissingFile) {
+  std::string error;
+  PamapSource source({TestDataPath("no_such_file.dat")}, {}, &error);
+  EXPECT_EQ(source.matrix().rows(), 0u);
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------------------ MSD
+
+TEST(MsdSourceTest, ParsesFixtureDroppingYearAndShortRow) {
+  RealDatasetOptions options;
+  options.target_beta = 0.0;
+  std::string error;
+  MsdSource source(TestDataPath("msd_tiny.csv"), options, &error);
+  // 5 lines, one truncated (wrong width -> missing fields): 4 survive.
+  ASSERT_EQ(source.matrix().rows(), 4u) << error;
+  EXPECT_EQ(source.dim(), MsdSource::kDim);
+  // Row 0: year 1990 dropped; features are (i+1)*0.2 + c*0.05.
+  EXPECT_DOUBLE_EQ(source.matrix()(0, 0), 0.2);
+  EXPECT_DOUBLE_EQ(source.matrix()(0, 89), 0.2 + 89 * 0.05);
+  // The truncated line was row 3, so surviving row 3 is source line 4.
+  EXPECT_DOUBLE_EQ(source.matrix()(3, 0), 1.0);
+}
+
+TEST(MsdSourceTest, RejectsUnrecognizedWidth) {
+  const std::string dir = ScratchDir();
+  const std::string path = dir + "/narrow.csv";
+  std::ofstream(path) << "1,2,3\n4,5,6\n";
+  std::string error;
+  MsdSource source(path, {}, &error);
+  EXPECT_EQ(source.matrix().rows(), 0u);
+  EXPECT_NE(error.find("unrecognized layout"), std::string::npos);
+}
+
+// ------------------------------------------- golden round-trip (cache)
+
+TEST(DatasetRoundTripTest, PamapCsvToDmtbinReloadIsBitIdentical) {
+  std::string error;
+  PamapSource parsed({TestDataPath("pamap_tiny.dat")}, {}, &error);
+  ASSERT_GT(parsed.matrix().rows(), 0u) << error;
+
+  const std::string cache = ScratchDir() + "/pamap.dmtbin";
+  ASSERT_TRUE(WriteDmtbin(cache, parsed.matrix(), &error)) << error;
+  DmtbinSource reloaded(cache, 0, &error);
+  ASSERT_TRUE(reloaded.ok()) << error;
+  EXPECT_TRUE(BitIdentical(parsed.matrix(), reloaded.Take(0)));
+}
+
+TEST(DatasetRoundTripTest, MsdCsvToDmtbinReloadIsBitIdentical) {
+  std::string error;
+  MsdSource parsed(TestDataPath("msd_tiny.csv"), {}, &error);
+  ASSERT_GT(parsed.matrix().rows(), 0u) << error;
+
+  const std::string cache = ScratchDir() + "/msd.dmtbin";
+  ASSERT_TRUE(WriteDmtbin(cache, parsed.matrix(), &error)) << error;
+  DmtbinSource reloaded(cache, 0, &error);
+  ASSERT_TRUE(reloaded.ok()) << error;
+  EXPECT_TRUE(BitIdentical(parsed.matrix(), reloaded.Take(0)));
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(DatasetRegistryTest, ListsBuiltInNames) {
+  const auto names = RegisteredDatasets();
+  for (const char* expected :
+       {"pamap", "msd", "synthetic", "synthetic-pamap", "synthetic-msd"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(DatasetRegistryTest, UnknownNameReportsCandidates) {
+  DatasetSpec spec;
+  spec.name = "definitely-not-a-dataset";
+  std::string error;
+  EXPECT_EQ(OpenDataset(spec, &error), nullptr);
+  EXPECT_NE(error.find("unknown dataset"), std::string::npos);
+  EXPECT_NE(error.find("pamap"), std::string::npos);
+}
+
+TEST(DatasetRegistryTest, MissingDataDirFallsBackToSynthetic) {
+  DatasetSpec spec;
+  spec.name = "pamap";
+  spec.data_dir = ScratchDir() + "/empty";
+  spec.max_rows = 64;
+  auto source = OpenDataset(spec);
+  ASSERT_NE(source, nullptr);
+  EXPECT_TRUE(source->info().synthetic_fallback);
+  EXPECT_EQ(source->info().origin, "synthetic");
+  EXPECT_EQ(source->dim(), PamapSource::kDim);
+  EXPECT_EQ(source->Take(0).rows(), 64u);
+}
+
+TEST(DatasetRegistryTest, FallbackCanBeDisabled) {
+  DatasetSpec spec;
+  spec.name = "msd";
+  spec.allow_synthetic_fallback = false;
+  std::string error;
+  EXPECT_EQ(OpenDataset(spec, &error), nullptr);
+  EXPECT_NE(error.find("fallback disabled"), std::string::npos);
+}
+
+TEST(DatasetRegistryTest, OpensRawFilesThenPrefersWrittenCache) {
+  // Lay out a data dir in the accepted shape: <dir>/pamap/*.dat.
+  const std::string dir = ScratchDir();
+  std::filesystem::create_directories(dir + "/pamap");
+  std::filesystem::copy_file(TestDataPath("pamap_tiny.dat"),
+                             dir + "/pamap/subject101.dat");
+  DatasetSpec spec;
+  spec.name = "pamap";
+  spec.data_dir = dir;
+
+  auto first = OpenDataset(spec);
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(first->info().synthetic_fallback);
+  EXPECT_EQ(first->info().origin.rfind("csv:", 0), 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/pamap.dmtbin"));
+
+  auto second = OpenDataset(spec);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->info().origin.rfind("dmtbin:", 0), 0u);
+  EXPECT_TRUE(BitIdentical(first->Take(0), second->Take(0)));
+}
+
+TEST(DatasetRegistryTest, SyntheticMsdMatchesPaperShape) {
+  DatasetSpec spec;
+  spec.name = "synthetic-msd";
+  auto source = OpenDataset(spec);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->dim(), MsdSource::kDim);
+  EXPECT_EQ(source->info().rows, 300000u);
+  EXPECT_FALSE(source->info().synthetic_fallback);
+}
+
+TEST(SyntheticSourceTest, ResetReplaysBitIdenticalRows) {
+  SyntheticSource source(SyntheticMatrixGenerator::PamapLike(5), 128);
+  const linalg::Matrix first = source.Take(0);
+  source.Reset();
+  const linalg::Matrix second = source.Take(0);
+  EXPECT_TRUE(BitIdentical(first, second));
+}
+
+TEST(SyntheticSourceTest, ChunkingDoesNotChangeTheSequence) {
+  SyntheticSource a(SyntheticMatrixGenerator::MsdLike(9), 100);
+  SyntheticSource b(SyntheticMatrixGenerator::MsdLike(9), 100);
+  linalg::Matrix chunked;
+  while (a.NextChunk(7, &chunked) != 0) {
+  }
+  EXPECT_TRUE(BitIdentical(chunked, b.Take(0)));
+}
+
+// ------------------------------------------------------- ParseDatasetArgs
+
+TEST(ParseDatasetArgsTest, ParsesBothFlagForms) {
+  const char* argv[] = {"bench",           "--dataset=msd",
+                        "--data-dir",      "/tmp/x",
+                        "--max-rows=1234", "--threads=4"};
+  const DatasetSpec spec =
+      ParseDatasetArgs(6, const_cast<char**>(argv), DatasetSpec{});
+  EXPECT_EQ(spec.name, "msd");
+  EXPECT_EQ(spec.data_dir, "/tmp/x");
+  EXPECT_EQ(spec.max_rows, 1234u);
+}
+
+TEST(ParseDatasetArgsTest, KeepsDefaultsWhenFlagsAbsent) {
+  const char* argv[] = {"bench"};
+  DatasetSpec defaults;
+  defaults.name = "pamap";
+  const DatasetSpec spec =
+      ParseDatasetArgs(1, const_cast<char**>(argv), defaults);
+  EXPECT_EQ(spec.name, "pamap");
+  EXPECT_EQ(spec.max_rows, 0u);
+}
+
+// ----------------------------------------- driver streaming equivalence
+
+// The streaming row feed must be bit-identical to materializing the same
+// rows and running the chunked schedule — same sketches, same messages.
+TEST(DatasetDriverTest, StreamingRunMatchesMaterializedRun) {
+  constexpr size_t kRows = 3000;
+  constexpr size_t kSites = 8;
+  constexpr uint64_t kSeed = 17;
+
+  SyntheticSource source(SyntheticMatrixGenerator::PamapLike(kSeed), kRows);
+  stream::SimulationOptions options;
+  options.threads = 2;
+  options.chunk_elements = 512;
+  stream::SimulationDriver driver(options);
+
+  matrix::MP2SvdThreshold streamed(kSites, 0.1);
+  {
+    stream::Router router(kSites, stream::RoutingPolicy::kUniform, kSeed);
+    EXPECT_EQ(driver.Run(&streamed, &router, &source, kRows), kRows);
+  }
+
+  matrix::MP2SvdThreshold materialized(kSites, 0.1);
+  {
+    source.Reset();
+    const linalg::Matrix all = source.Take(0);
+    std::vector<std::vector<double>> rows(all.rows());
+    for (size_t i = 0; i < all.rows(); ++i) rows[i] = all.RowVector(i);
+    stream::Router router(kSites, stream::RoutingPolicy::kUniform, kSeed);
+    const std::vector<size_t> sites = stream::AssignSites(&router, kRows);
+    driver.Run(&materialized, sites, rows);
+  }
+
+  EXPECT_EQ(streamed.comm_stats().total(), materialized.comm_stats().total());
+  EXPECT_EQ(streamed.per_site_messages(), materialized.per_site_messages());
+  EXPECT_EQ(
+      streamed.CoordinatorGram().MaxAbsDiff(materialized.CoordinatorGram()),
+      0.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dmt

@@ -1,0 +1,179 @@
+// Format-level tests of the .dmtbin row cache: header fields, payload
+// round-trip, and the rejection paths (bad magic, version, truncation).
+#include "data/dmtbin.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+
+namespace dmt {
+namespace data {
+namespace {
+
+class DmtbinTest : public ::testing::Test {
+ protected:
+  // One file per test case (gtest_discover_tests runs each TEST in its
+  // own process, so a shared fixed path would race under `ctest -j`).
+  std::string Path() const {
+    return ::testing::TempDir() + "/dmt_bin_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".dmtbin";
+  }
+
+  static linalg::Matrix SampleMatrix() {
+    return linalg::Matrix::FromRows({{1.0, -2.0, 3.5},
+                                     {0.25, 0.0, -0.125},
+                                     {1e-7, 2e3, 4.0},
+                                     {9.0, 8.0, 7.0}});
+  }
+};
+
+TEST_F(DmtbinTest, RoundTripIsBitIdentical) {
+  const linalg::Matrix m = SampleMatrix();
+  std::string error;
+  ASSERT_TRUE(WriteDmtbin(Path(), m, &error)) << error;
+
+  DmtbinSource source(Path(), 0, &error);
+  ASSERT_TRUE(source.ok()) << error;
+  EXPECT_EQ(source.info().dim, 3u);
+  EXPECT_EQ(source.info().rows, 4u);
+
+  const linalg::Matrix back = source.Take(0);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  // Bit-identical, not approximately equal: the cache must not perturb
+  // the stream (memcmp over the raw row-major payload).
+  EXPECT_EQ(std::memcmp(back.Row(0), m.Row(0),
+                        m.rows() * m.cols() * sizeof(double)),
+            0);
+}
+
+TEST_F(DmtbinTest, HeaderRecordsBetaAndFrobenius) {
+  const linalg::Matrix m = SampleMatrix();
+  double beta = 0.0;
+  double frob = 0.0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    double sq = 0.0;
+    for (size_t j = 0; j < m.cols(); ++j) sq += m(i, j) * m(i, j);
+    beta = std::max(beta, sq);
+    frob += sq;
+  }
+  ASSERT_TRUE(WriteDmtbin(Path(), m, nullptr));
+  DmtbinInfo info;
+  std::string error;
+  ASSERT_TRUE(ReadDmtbinInfo(Path(), &info, &error)) << error;
+  EXPECT_EQ(info.version, kDmtbinVersion);
+  EXPECT_DOUBLE_EQ(info.beta, beta);
+  EXPECT_DOUBLE_EQ(info.frob_sq, frob);
+}
+
+TEST_F(DmtbinTest, MaxRowsCapsServedRows) {
+  ASSERT_TRUE(WriteDmtbin(Path(), SampleMatrix(), nullptr));
+  DmtbinSource source(Path(), 2);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source.info().rows, 2u);
+  EXPECT_EQ(source.Take(0).rows(), 2u);
+}
+
+TEST_F(DmtbinTest, ResetReplaysIdenticalRows) {
+  ASSERT_TRUE(WriteDmtbin(Path(), SampleMatrix(), nullptr));
+  DmtbinSource source(Path());
+  ASSERT_TRUE(source.ok());
+  const linalg::Matrix first = source.Take(0);
+  source.Reset();
+  const linalg::Matrix second = source.Take(0);
+  ASSERT_EQ(first.rows(), second.rows());
+  EXPECT_EQ(std::memcmp(first.Row(0), second.Row(0),
+                        first.rows() * first.cols() * sizeof(double)),
+            0);
+}
+
+TEST_F(DmtbinTest, ChunkingDoesNotChangeTheSequence) {
+  ASSERT_TRUE(WriteDmtbin(Path(), SampleMatrix(), nullptr));
+  DmtbinSource source(Path());
+  linalg::Matrix chunked;
+  while (source.NextChunk(1, &chunked) != 0) {
+  }
+  source.Reset();
+  const linalg::Matrix whole = source.Take(0);
+  ASSERT_EQ(chunked.rows(), whole.rows());
+  EXPECT_EQ(std::memcmp(chunked.Row(0), whole.Row(0),
+                        whole.rows() * whole.cols() * sizeof(double)),
+            0);
+}
+
+TEST_F(DmtbinTest, RefusesEmptyMatrix) {
+  std::string error;
+  EXPECT_FALSE(WriteDmtbin(Path(), linalg::Matrix(), &error));
+  EXPECT_NE(error.find("empty"), std::string::npos);
+}
+
+TEST_F(DmtbinTest, RejectsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(ReadDmtbinInfo(Path() + ".does-not-exist", nullptr, &error));
+  DmtbinSource source(Path() + ".does-not-exist", 0, &error);
+  EXPECT_FALSE(source.ok());
+  EXPECT_EQ(source.NextChunk(8, nullptr), 0u);  // serves nothing
+}
+
+TEST_F(DmtbinTest, RejectsBadMagic) {
+  {
+    std::ofstream out(Path(), std::ios::binary);
+    std::string junk(128, 'x');
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  std::string error;
+  EXPECT_FALSE(ReadDmtbinInfo(Path(), nullptr, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST_F(DmtbinTest, RejectsTruncatedPayload) {
+  ASSERT_TRUE(WriteDmtbin(Path(), SampleMatrix(), nullptr));
+  // Chop the last row's final byte off.
+  std::ifstream in(Path(), std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::string bytes(size - 1, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  in.close();
+  {
+    std::ofstream out(Path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  std::string error;
+  EXPECT_FALSE(ReadDmtbinInfo(Path(), nullptr, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+  DmtbinSource source(Path(), 0, &error);
+  EXPECT_FALSE(source.ok());
+}
+
+TEST_F(DmtbinTest, RejectsShorterThanHeader) {
+  {
+    std::ofstream out(Path(), std::ios::binary);
+    out.write("DMTBIN", 6);
+  }
+  std::string error;
+  EXPECT_FALSE(ReadDmtbinInfo(Path(), nullptr, &error));
+  EXPECT_NE(error.find("shorter"), std::string::npos);
+}
+
+TEST_F(DmtbinTest, RejectsUnsupportedVersion) {
+  ASSERT_TRUE(WriteDmtbin(Path(), SampleMatrix(), nullptr));
+  // Bump the version field (offset 8) in place.
+  std::fstream f(Path(), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8);
+  const uint32_t bad = 99;
+  f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  f.close();
+  std::string error;
+  EXPECT_FALSE(ReadDmtbinInfo(Path(), nullptr, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dmt

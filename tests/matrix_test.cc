@@ -134,6 +134,22 @@ TEST(MatrixTest, AddOuterProductMatchesGramUpdate) {
   }
 }
 
+TEST(MatrixTest, AppendRowsRawBlockMatchesPerRowAppend) {
+  const Matrix src = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Matrix bulk;
+  bulk.AppendRows(src.Row(0), 3, 3);  // sets cols on first append
+  Matrix per_row;
+  for (size_t i = 0; i < src.rows(); ++i) per_row.AppendRow(src.Row(i), 3);
+  EXPECT_EQ(bulk.rows(), 3u);
+  EXPECT_EQ(bulk.cols(), 3u);
+  EXPECT_EQ(bulk.MaxAbsDiff(per_row), 0.0);
+  bulk.AppendRows(src.Row(1), 2, 3);  // append onto a non-empty matrix
+  EXPECT_EQ(bulk.rows(), 5u);
+  EXPECT_DOUBLE_EQ(bulk(4, 2), 9.0);
+  bulk.AppendRows(src.Row(0), 0, 3);  // n == 0 is a no-op
+  EXPECT_EQ(bulk.rows(), 5u);
+}
+
 TEST(MatrixTest, ClearRowsKeepsColumns) {
   Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
   m.ClearRows();

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Markdown link checker for README.md and docs/*.md (run by CTest).
+#
+# Verifies that every relative link target `[text](path)` resolves to an
+# existing file or directory, relative to the markdown file that
+# contains it. External links (http/https/mailto) are not fetched — this
+# guard is for the intra-repo pointers that rot when files move.
+#
+# Usage: check_markdown_links.sh <repo-root>
+set -u
+
+ROOT="${1:-.}"
+fail=0
+checked=0
+
+for md in "$ROOT"/README.md "$ROOT"/docs/*.md; do
+  [ -f "$md" ] || continue
+  dir="$(dirname "$md")"
+  # Pull out every](target) occurrence; tolerate several links per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;   # external
+      '#'*) continue ;;                          # same-file anchor
+      '') continue ;;
+    esac
+    path="${target%%#*}"                         # strip anchors
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ] && [ ! -e "$ROOT/$path" ]; then
+      echo "BROKEN: $md -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//; s/ .*$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "markdown link check FAILED" >&2
+  exit 1
+fi
+echo "markdown link check OK ($checked relative links checked)"

@@ -1,8 +1,10 @@
-// dmt_cli — run any tracking protocol over CSV or synthetic data.
+// dmt_cli — run any tracking protocol over CSV, registry datasets, or
+// synthetic data.
 //
 // Examples:
 //   dmt_cli --mode=matrix --protocol=P2 --eps=0.1 --sites=50 --synthetic=pamap --rows=100000
 //   dmt_cli --mode=matrix --protocol=P3 --input=features.csv --eps=0.05
+//   dmt_cli --mode=matrix --protocol=P2 --dataset=pamap --data-dir=./data
 //   dmt_cli --mode=hh --protocol=P2 --eps=0.001 --rows=1000000 --phi=0.05
 //
 // For matrix mode the tool reports the continuous approximation error
@@ -17,10 +19,12 @@
 #include "core/continuous_hh_tracker.h"
 #include "core/continuous_matrix_tracker.h"
 #include "data/csv.h"
+#include "data/dataset.h"
 #include "data/synthetic_matrix.h"
 #include "data/zipf.h"
 #include "matrix/error.h"
 #include "stream/router.h"
+#include "util/env.h"
 
 namespace {
 
@@ -28,6 +32,8 @@ struct Args {
   std::string mode = "matrix";       // matrix | hh
   std::string protocol = "P2";       // P1 | P2 | P3 | P3wr | P4 | exact(hh)
   std::string input;                 // CSV path (matrix mode)
+  std::string dataset;               // registry name (matrix mode)
+  std::string data_dir;              // raw files / .dmtbin caches
   std::string synthetic = "pamap";   // pamap | msd (matrix mode)
   double eps = 0.1;
   size_t sites = 50;
@@ -54,6 +60,8 @@ Args Parse(int argc, char** argv) {
     if (ParseArg(argv[i], "--mode", &v)) a.mode = v;
     else if (ParseArg(argv[i], "--protocol", &v)) a.protocol = v;
     else if (ParseArg(argv[i], "--input", &v)) a.input = v;
+    else if (ParseArg(argv[i], "--dataset", &v)) a.dataset = v;
+    else if (ParseArg(argv[i], "--data-dir", &v)) a.data_dir = v;
     else if (ParseArg(argv[i], "--synthetic", &v)) a.synthetic = v;
     else if (ParseArg(argv[i], "--eps", &v)) a.eps = std::atof(v.c_str());
     else if (ParseArg(argv[i], "--sites", &v)) a.sites = std::atoi(v.c_str());
@@ -103,11 +111,34 @@ int RunMatrix(const Args& args) {
                              dmt::stream::RoutingPolicy::kUniform,
                              args.seed + 1);
 
-  // Data source: CSV file if given, else a synthetic generator.
+  // Data source: registry dataset or CSV file if given, else a synthetic
+  // generator.
   dmt::linalg::Matrix csv;
   std::unique_ptr<dmt::data::SyntheticMatrixGenerator> gen;
   size_t n = args.rows;
-  if (!args.input.empty()) {
+  if (!args.dataset.empty()) {
+    dmt::data::DatasetSpec spec;
+    spec.name = args.dataset;
+    // Same default as the benches: --data-dir, else DMT_DATA_DIR.
+    spec.data_dir = args.data_dir.empty()
+                        ? dmt::GetEnvString("DMT_DATA_DIR", "")
+                        : args.data_dir;
+    spec.max_rows = args.rows;
+    spec.seed = args.seed + 2;
+    std::string error;
+    auto source = dmt::data::OpenDataset(spec, &error);
+    if (source == nullptr) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    csv = source->Take(args.rows);
+    if (csv.empty()) {
+      std::fprintf(stderr, "dataset %s served no rows\n",
+                   args.dataset.c_str());
+      return 1;
+    }
+    n = csv.rows();
+  } else if (!args.input.empty()) {
     csv = dmt::data::LoadCsv(args.input);
     if (csv.empty()) {
       std::fprintf(stderr, "could not read any rows from %s\n",

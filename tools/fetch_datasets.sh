@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Downloads the paper's two real datasets into a dmt data directory:
+#
+#   PAMAP2 (UCI 231)            ->  <data-dir>/pamap/*.dat
+#   YearPredictionMSD (UCI 203) ->  <data-dir>/YearPredictionMSD.txt
+#
+# Usage:  tools/fetch_datasets.sh [data-dir]      (default: ./data)
+#
+# The benches then take `--data-dir <data-dir>`; on first use each
+# dataset is parsed once and cached as <data-dir>/<name>.dmtbin so later
+# runs skip CSV parsing (see docs/DATASETS.md). Nothing in the test suite
+# needs these downloads — without them every bench falls back to the
+# synthetic stand-ins.
+set -euo pipefail
+
+DATA_DIR="${1:-./data}"
+PAMAP_URL="https://archive.ics.uci.edu/static/public/231/pamap2+physical+activity+monitoring.zip"
+MSD_URL="https://archive.ics.uci.edu/static/public/203/yearpredictionmsd.zip"
+
+note() { printf '%s\n' "$*" >&2; }
+die()  { note "error: $*"; exit 1; }
+
+fetch() { # fetch <url> <out-file>
+  if command -v curl >/dev/null 2>&1; then
+    curl -fL --retry 3 -o "$2" "$1"
+  elif command -v wget >/dev/null 2>&1; then
+    wget -O "$2" "$1"
+  else
+    die "need curl or wget to download $1"
+  fi
+}
+
+command -v unzip >/dev/null 2>&1 || die "need unzip on PATH"
+
+mkdir -p "$DATA_DIR"
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/dmt_datasets.XXXXXX")"
+trap 'rm -rf "$TMP"' EXIT
+
+# ---------------------------------------------------------------- PAMAP
+if ls "$DATA_DIR"/pamap/*.dat >/dev/null 2>&1; then
+  note "PAMAP already present under $DATA_DIR/pamap — skipping"
+else
+  note "downloading PAMAP2 (~650 MB) ..."
+  fetch "$PAMAP_URL" "$TMP/pamap2.zip"
+  note "unpacking PAMAP2 ..."
+  unzip -q -o "$TMP/pamap2.zip" -d "$TMP/pamap2"
+  # The archive nests a second zip holding PAMAP2_Dataset/Protocol/*.dat.
+  inner="$(find "$TMP/pamap2" -name '*.zip' | head -n 1 || true)"
+  if [ -n "$inner" ]; then
+    unzip -q -o "$inner" -d "$TMP/pamap2"
+  fi
+  mkdir -p "$DATA_DIR/pamap"
+  found=0
+  while IFS= read -r dat; do
+    cp "$dat" "$DATA_DIR/pamap/"
+    found=$((found + 1))
+  done < <(find "$TMP/pamap2" -path '*Protocol*' -name '*.dat' | sort)
+  [ "$found" -gt 0 ] || die "no Protocol/*.dat files found in the PAMAP2 archive"
+  note "PAMAP: $found subject files -> $DATA_DIR/pamap/"
+fi
+
+# ------------------------------------------------------------------ MSD
+if [ -f "$DATA_DIR/YearPredictionMSD.txt" ]; then
+  note "YearPredictionMSD already present — skipping"
+else
+  note "downloading YearPredictionMSD (~200 MB) ..."
+  fetch "$MSD_URL" "$TMP/msd.zip"
+  note "unpacking YearPredictionMSD ..."
+  unzip -q -o "$TMP/msd.zip" -d "$TMP/msd"
+  txt="$(find "$TMP/msd" -name 'YearPredictionMSD.txt' | head -n 1 || true)"
+  [ -n "$txt" ] || die "YearPredictionMSD.txt not found in the archive"
+  cp "$txt" "$DATA_DIR/YearPredictionMSD.txt"
+  note "MSD -> $DATA_DIR/YearPredictionMSD.txt"
+fi
+
+note "done. try: build/bench/table1_matrix_raw --data-dir $DATA_DIR"
