@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/config.h"
@@ -48,16 +49,32 @@ namespace dmt {
 namespace bench {
 
 /// Emits a BENCH_*.json artifact the way the repo tracks perf
-/// trajectories: `body(f)` prints the JSON to `f`; it runs once against
-/// stdout and, when `path` is non-null, once more into that file (the
-/// repo keeps the checked-in BENCH_*.json up to date).
+/// trajectories. The harness prints the standard envelope — bench name,
+/// the machine's detected hardware-thread count (so single-core
+/// recordings like the BENCH_parallel_sites.json caveat are
+/// machine-checkable), and the DMT_SCALE in effect — then `body(f)`
+/// appends the bench-specific fields (two-space indented, no trailing
+/// comma on the last one) before the closing brace. The JSON goes to
+/// stdout and, when `path` is non-null, to that file too (the repo keeps
+/// the checked-in BENCH_*.json up to date).
 template <typename Body>
-inline void EmitBenchJson(const char* path, Body body) {
-  body(stdout);
+inline void EmitBenchJson(const char* path, const char* bench_name,
+                          Body body) {
+  const auto emit = [&](FILE* f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name);
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"scale\": \"%s\",\n",
+                 GetEnvString("DMT_SCALE", "default").c_str());
+    body(f);
+    std::fprintf(f, "}\n");
+  };
+  emit(stdout);
   if (path != nullptr) {
     FILE* f = std::fopen(path, "w");
     DMT_CHECK(f != nullptr);
-    body(f);
+    emit(f);
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", path);
   }

@@ -184,11 +184,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(ScaledN(40000, 2, 20));
   ShrinkPoint shrink = MeasureShrink(64, 32, shrink_rows, &rng);
 
-  bench::EmitBenchJson(out_path, [&](FILE* f) {
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"micro_kernels\",\n");
-    std::fprintf(f, "  \"scale\": \"%s\",\n",
-                 GetEnvString("DMT_SCALE", "default").c_str());
+  bench::EmitBenchJson(out_path, "micro_kernels", [&](FILE* f) {
     std::fprintf(f,
                  "  \"tiles\": {\"row\": %zu, \"col\": %zu, \"k\": %zu, "
                  "\"panel\": %zu},\n",
@@ -204,7 +200,6 @@ int main(int argc, char** argv) {
         shrink.dim, shrink.ell, shrink.rows, shrink.rows_per_sec,
         shrink.shrink_events, shrink.shrink_events_per_sec,
         shrink.cold_shrink_seconds);
-    std::fprintf(f, "}\n");
   });
 
   // Hard correctness gate so the smoke run fails loudly if the blocked

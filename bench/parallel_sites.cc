@@ -13,9 +13,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "data/synthetic_matrix.h"
 #include "data/zipf.h"
 #include "hh/p2_threshold.h"
@@ -126,29 +126,13 @@ int main(int argc, char** argv) {
     DMT_CHECK_EQ(mx_points.back().messages, mx_points.front().messages);
   }
 
-  const auto print_all = [&](FILE* f) {
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"parallel_sites\",\n");
-    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"scale\": \"%s\",\n",
-                 GetEnvString("DMT_SCALE", "default").c_str());
+  bench::EmitBenchJson(out_path, "parallel_sites", [&](FILE* f) {
     std::fprintf(f, "  \"determinism_check\": \"messages identical across "
                  "thread counts\",\n");
     std::fprintf(f, "  \"workloads\": {\n");
     PrintWorkload(f, "hh_p2_zipf", hh_n, hh_m, hh_points, false);
     PrintWorkload(f, "matrix_mp1_pamap", mx_n, mx_m, mx_points, true);
     std::fprintf(f, "  }\n");
-    std::fprintf(f, "}\n");
-  };
-
-  print_all(stdout);
-  if (out_path != nullptr) {
-    FILE* f = std::fopen(out_path, "w");
-    DMT_CHECK(f != nullptr);
-    print_all(f);
-    std::fclose(f);
-    std::fprintf(stderr, "wrote %s\n", out_path);
-  }
+  });
   return 0;
 }

@@ -1,0 +1,325 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+
+#include "linalg/jacobi_eigen.h"
+#include "linalg/vec_ops.h"
+#include "util/check.h"
+
+namespace dmt {
+namespace linalg {
+
+namespace {
+
+constexpr double kTiny = 1e-300;
+
+// Deterministic quasi-random seed fill (splitmix64 mapped to [-1, 1]).
+// Fixed so solves are a pure function of the operator — no RNG
+// dependency, same contract as the kernel layer.
+void DeterministicFill(double* x, size_t d) {
+  uint64_t state = 0x9E3779B97F4A7C15ull ^ (0x243F6A8885A308D3ull * d);
+  for (size_t i = 0; i < d; ++i) {
+    state += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    x[i] = 2.0 * (static_cast<double>(z >> 11) * 0x1.0p-53) - 1.0;
+  }
+}
+
+// Two full modified-Gram-Schmidt passes of `x` against the first j rows
+// of q ("twice is enough" — Giraud et al.). Returns the final norm of x.
+double Reorthogonalize(double* x, const Matrix& q, size_t j, size_t d) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < j; ++i) {
+      const double c = Dot(x, q.Row(i), d);
+      Axpy(-c, q.Row(i), x, d);
+    }
+  }
+  return Norm(x, d);
+}
+
+}  // namespace
+
+void LanczosSolver::EnsureWorkspace(size_t d, size_t m) {
+  if (q_.rows() != m || q_.cols() != d) {
+    q_ = Matrix(m, d);
+    sq_ = Matrix(m, d);
+    u_ = Matrix(m, d);
+    su_ = Matrix(m, d);
+  }
+  if (cand_.size() != d) cand_.resize(d);
+  if (theta_.size() < m) theta_.resize(m);
+  if (order_.size() < m) order_.resize(m);
+}
+
+LanczosInfo LanczosSolver::TopK(size_t d, size_t k,
+                                const SymmetricMatvec& matvec,
+                                std::vector<double>* eigenvalues,
+                                Matrix* eigenvectors,
+                                const LanczosOptions& opts) {
+  LanczosInfo info;
+  eigenvalues->clear();
+  if (d == 0 || k == 0) {
+    *eigenvectors = Matrix(0, d);
+    info.converged = true;
+    return info;
+  }
+  k = std::min(k, d);
+  size_t m = opts.basis_size != 0 ? opts.basis_size : 2 * k + 8;
+  m = std::min(std::max(m, k + 2), d);
+  EnsureWorkspace(d, m);
+
+  // Seed the basis.
+  double* q0 = q_.Row(0);
+  if (opts.seed != nullptr) {
+    std::memcpy(q0, opts.seed, d * sizeof(double));
+  } else {
+    DeterministicFill(q0, d);
+  }
+  double nrm = Norm(q0, d);
+  if (nrm <= kTiny) {
+    std::fill(q0, q0 + d, 0.0);
+    q0[0] = 1.0;
+  } else {
+    Scale(1.0 / nrm, q0, d);
+  }
+  matvec(q_.Row(0), sq_.Row(0));
+  ++info.matvecs;
+
+  size_t j = 1;          // current basis rows
+  size_t fresh = 0;      // next canonical direction for breakdown recovery
+  const size_t need = k; // pairs the caller asked for (k <= m <= d)
+
+  for (;; ++info.restarts) {
+    // ---- Expand the basis to m rows: candidate = S q_{last}, fully
+    // reorthogonalized; on (happy) breakdown — the current span is
+    // invariant — insert a deterministic canonical direction so repeated
+    // and zero eigenvalues are reachable.
+    while (j < m) {
+      const double* src = sq_.Row(j - 1);
+      std::memcpy(cand_.data(), src, d * sizeof(double));
+      const double src_norm = Norm(src, d);
+      nrm = Reorthogonalize(cand_.data(), q_, j, d);
+      if (nrm <= 1e-10 * src_norm + kTiny) {
+        bool replaced = false;
+        while (fresh < d) {
+          const size_t t = fresh++;
+          std::fill(cand_.begin(), cand_.end(), 0.0);
+          cand_[t] = 1.0;
+          nrm = Reorthogonalize(cand_.data(), q_, j, d);
+          // Some e_t must keep norm >= 1/sqrt(d) while j < d, so this
+          // floor cannot exhaust the supply before the basis spans R^d.
+          if (nrm > 1e-6) {
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) break;  // basis numerically spans R^d
+      }
+      Scale(1.0 / nrm, cand_.data(), d);
+      std::memcpy(q_.Row(j), cand_.data(), d * sizeof(double));
+      matvec(q_.Row(j), sq_.Row(j));
+      ++info.matvecs;
+      ++j;
+    }
+
+    // ---- Rayleigh-Ritz on the j-row basis: T = Q S Q^T (j x j, upper
+    // triangle computed, mirrored for exact symmetry).
+    if (t_.rows() != j) {
+      t_ = Matrix(j, j);
+      y_ = Matrix(j, j);
+    }
+    for (size_t a = 0; a < j; ++a) {
+      for (size_t b = a; b < j; ++b) {
+        const double v = Dot(q_.Row(a), sq_.Row(b), d);
+        t_(a, b) = v;
+        t_(b, a) = v;
+      }
+    }
+    y_.SetZero();
+    for (size_t i = 0; i < j; ++i) y_(i, i) = 1.0;
+    JacobiDiagonalizeInPlace(&t_, &y_);
+    for (size_t i = 0; i < j; ++i) theta_[i] = t_(i, i);
+    std::iota(order_.begin(), order_.begin() + j, size_t{0});
+    std::sort(order_.begin(), order_.begin() + j,
+              [this](size_t a, size_t b) {
+                if (theta_[a] != theta_[b]) return theta_[a] > theta_[b];
+                return a < b;  // deterministic tie-break
+              });
+
+    // Spectral scale for the relative residual test: the largest |Ritz
+    // value| seen, a faithful stand-in for ||S||.
+    double scale = kTiny;
+    for (size_t i = 0; i < j; ++i) {
+      scale = std::max(scale, std::fabs(theta_[i]));
+    }
+
+    // ---- Ritz vectors u_i = sum_a y(a, order[i]) q_a and their operator
+    // images (exact linear combinations of stored rows — no matvecs),
+    // plus residuals r_i = ||S u_i - theta_i u_i|| for the top `need`.
+    const size_t avail = std::min(j, need);
+    bool all_converged = true;
+    double resid_sq_sum = 0.0;
+    for (size_t i = 0; i < avail; ++i) {
+      double* u = u_.Row(i);
+      double* su = su_.Row(i);
+      std::fill(u, u + d, 0.0);
+      std::fill(su, su + d, 0.0);
+      for (size_t a = 0; a < j; ++a) {
+        const double c = y_(a, order_[i]);
+        if (c == 0.0) continue;
+        Axpy(c, q_.Row(a), u, d);
+        Axpy(c, sq_.Row(a), su, d);
+      }
+      const double th = theta_[order_[i]];
+      double rsq = 0.0;
+      for (size_t t = 0; t < d; ++t) {
+        const double r = su[t] - th * u[t];
+        rsq += r * r;
+      }
+      resid_sq_sum += rsq;
+      if (std::sqrt(rsq) > opts.tol * scale + kTiny) all_converged = false;
+    }
+
+    const bool exact_span = j >= d;
+    if (all_converged || exact_span || avail < need ||
+        info.restarts >= opts.max_restarts) {
+      // `avail < need` only happens when expansion exhausted every
+      // direction with j < k, i.e. the basis already spans the reachable
+      // space; Rayleigh-Ritz is then exact on it. Pad with zeros.
+      eigenvalues->assign(need, 0.0);
+      if (eigenvectors->rows() != need || eigenvectors->cols() != d) {
+        *eigenvectors = Matrix(need, d);
+      } else {
+        eigenvectors->SetZero();
+      }
+      for (size_t i = 0; i < avail; ++i) {
+        (*eigenvalues)[i] = theta_[order_[i]];
+        std::memcpy(eigenvectors->Row(i), u_.Row(i), d * sizeof(double));
+      }
+      info.residual_bound = std::sqrt(resid_sq_sum);
+      info.converged = all_converged || exact_span;
+      return info;
+    }
+
+    // ---- Thick restart: keep the leading p Ritz rows and their operator
+    // images (no matvecs), then keep expanding. The kept rows stay
+    // orthonormal because the coefficient matrix y_ is orthogonal.
+    const size_t p = std::min(j - 1, k + std::min(k, size_t{8}));
+    for (size_t i = avail; i < p; ++i) {
+      double* u = u_.Row(i);
+      double* su = su_.Row(i);
+      std::fill(u, u + d, 0.0);
+      std::fill(su, su + d, 0.0);
+      for (size_t a = 0; a < j; ++a) {
+        const double c = y_(a, order_[i]);
+        if (c == 0.0) continue;
+        Axpy(c, q_.Row(a), u, d);
+        Axpy(c, sq_.Row(a), su, d);
+      }
+    }
+    std::swap(q_, u_);
+    std::swap(sq_, su_);
+    j = p;
+    // The restart shrank the span, so canonical directions rejected as
+    // in-span earlier may be valid breakdown replacements again.
+    fresh = 0;
+  }
+}
+
+LanczosInfo LanczosSolver::TopKOfGram(const Matrix& gram, size_t k,
+                                      std::vector<double>* eigenvalues,
+                                      Matrix* eigenvectors,
+                                      const LanczosOptions& opts) {
+  DMT_CHECK_EQ(gram.rows(), gram.cols());
+  const size_t d = gram.rows();
+  return TopK(
+      d, k,
+      [&gram, d](const double* x, double* y) {
+        for (size_t i = 0; i < d; ++i) y[i] = Dot(gram.Row(i), x, d);
+      },
+      eigenvalues, eigenvectors, opts);
+}
+
+LanczosInfo LanczosTopKOfGram(const Matrix& gram, size_t k,
+                              std::vector<double>* eigenvalues,
+                              Matrix* eigenvectors,
+                              const LanczosOptions& opts) {
+  LanczosSolver solver;
+  return solver.TopKOfGram(gram, k, eigenvalues, eigenvectors, opts);
+}
+
+LanczosInfo LanczosSolver::TopKOfRows(const Matrix& rows, size_t k,
+                                      std::vector<double>* eigenvalues,
+                                      Matrix* eigenvectors,
+                                      const LanczosOptions& opts) {
+  const size_t n = rows.rows();
+  const size_t d = rows.cols();
+  if (rowmv_.size() < n) rowmv_.resize(n);
+  return TopK(
+      d, k,
+      [this, &rows, n, d](const double* x, double* y) {
+        for (size_t i = 0; i < n; ++i) rowmv_[i] = Dot(rows.Row(i), x, d);
+        std::fill(y, y + d, 0.0);
+        for (size_t i = 0; i < n; ++i) Axpy(rowmv_[i], rows.Row(i), y, d);
+      },
+      eigenvalues, eigenvectors, opts);
+}
+
+LanczosInfo LanczosTopKOfRows(const Matrix& rows, size_t k,
+                              std::vector<double>* eigenvalues,
+                              Matrix* eigenvectors,
+                              const LanczosOptions& opts) {
+  LanczosSolver solver;
+  return solver.TopKOfRows(rows, k, eigenvalues, eigenvectors, opts);
+}
+
+void SymmetricEigenExtremesLanczos(const Matrix& s, double* lambda_min,
+                                   double* lambda_max, double tol) {
+  DMT_CHECK_EQ(s.rows(), s.cols());
+  const size_t d = s.rows();
+  *lambda_min = 0.0;
+  *lambda_max = 0.0;
+  if (d == 0) return;
+  LanczosSolver solver;
+  LanczosOptions opts;
+  opts.tol = tol;
+  std::vector<double> vals;
+  Matrix vecs;
+  LanczosInfo pos = solver.TopKOfGram(s, 1, &vals, &vecs, opts);
+  const double hi = vals.empty() ? 0.0 : vals[0];
+  LanczosInfo neg;
+  double lo = 0.0;
+  if (pos.converged) {  // the fallback discards both, so don't start -S
+    neg = solver.TopK(
+        d, 1,
+        [&s, d](const double* x, double* y) {
+          for (size_t i = 0; i < d; ++i) y[i] = -Dot(s.Row(i), x, d);
+        },
+        &vals, &vecs, opts);
+    lo = vals.empty() ? 0.0 : -vals[0];
+  }
+  if (!pos.converged || !neg.converged) {
+    EigenDecomposition e = SymmetricEigen(s);  // exact reference fallback
+    *lambda_max = e.eigenvalues.front();
+    *lambda_min = e.eigenvalues.back();
+    return;
+  }
+  *lambda_max = hi;
+  *lambda_min = lo;
+}
+
+double SpectralNormSymmetricLanczos(const Matrix& s, double tol) {
+  double lo = 0.0, hi = 0.0;
+  SymmetricEigenExtremesLanczos(s, &lo, &hi, tol);
+  return std::max(0.0, std::max(hi, -lo));
+}
+
+}  // namespace linalg
+}  // namespace dmt

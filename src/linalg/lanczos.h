@@ -1,0 +1,153 @@
+// Partial symmetric eigensolver: thick-restart Lanczos with full
+// reorthogonalization and residual-based stopping.
+//
+// Every hot decomposition in this library needs only a few leading
+// eigenpairs: the Frequent Directions shrink uses the top ell+1 pairs of
+// a (at most 4*ell) x d buffer's Gram, MP2's threshold checks need just
+// the eigenvalues at or above the send threshold, and the covariance
+// error metric needs the two spectral extremes. Diagonalizing the full
+// d x d spectrum with Jacobi for those is the dominant cost at large d;
+// this solver computes the top-k pairs at O(k) matrix-vector products
+// plus small dense work instead.
+//
+// Algorithm: build an orthonormal Krylov basis (full reorthogonalization
+// against the whole basis, twice — the small basis makes this cheap and
+// unconditionally stable), Rayleigh-Ritz on the explicit projected
+// matrix, then thick restart: keep the leading Ritz vectors AND their
+// operator images (both are exact linear combinations of stored
+// quantities, so a restart costs no matvecs) and continue expanding.
+// Thick restart is the symmetric form of implicit restarting [Wu &
+// Simon, SIAM J. Matrix Anal. 2000]. A Ritz pair (theta, u) counts as
+// converged when ||S u - theta u|| <= tol * spectral-scale; on an exact
+// invariant subspace (happy breakdown) the expansion inserts
+// deterministic canonical directions so repeated and zero eigenvalues
+// are still found.
+//
+// Determinism: no RNG anywhere — the default seed vector is a fixed
+// quasi-random fill, restarts and breakdown replacements are
+// deterministic, so results are a pure function of the operator and the
+// options (the same contract the kernel layer keeps).
+//
+// Caveat shared by every Krylov method: a seed vector *exactly*
+// orthogonal to a dominant eigenvector (probability zero for generic
+// data, but constructible) can converge inside an invariant subspace and
+// miss that eigenvector. Callers that need certified bounds combine the
+// returned Ritz values with an exactly-tracked trace (see MP2) or fall
+// back to Jacobi when `converged` is false.
+#ifndef DMT_LINALG_LANCZOS_H_
+#define DMT_LINALG_LANCZOS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dmt {
+namespace linalg {
+
+/// y = S x for an implicit symmetric operator S (x, y both length d;
+/// y never aliases x).
+using SymmetricMatvec = std::function<void(const double* x, double* y)>;
+
+struct LanczosOptions {
+  /// Residual stopping: pair i is converged when
+  /// ||S u_i - theta_i u_i|| <= tol * max_j |theta_j|.
+  double tol = 1e-10;
+  /// Krylov basis rows per restart cycle; 0 = min(d, 2k + 8).
+  size_t basis_size = 0;
+  /// Thick-restart cycles before giving up (`converged` = false).
+  size_t max_restarts = 200;
+  /// Optional warm-start seed of length d (e.g. the previous solve's
+  /// leading eigenvector); nullptr = deterministic default fill.
+  const double* seed = nullptr;
+};
+
+struct LanczosInfo {
+  bool converged = false;
+  size_t matvecs = 0;
+  size_t restarts = 0;
+  /// sqrt(sum of squared residual norms) of the returned pairs — an upper
+  /// bound on the coupling between the returned subspace and the rest of
+  /// the spectrum (MP2's certified gating adds this to its trace bound).
+  double residual_bound = 0.0;
+};
+
+/// Reusable top-k solver. All workspaces persist across Solve calls, so
+/// steady-state solves of a fixed (d, k) shape do not allocate — the same
+/// contract as the FD shrink pipeline that owns one of these.
+class LanczosSolver {
+ public:
+  /// Computes the top-k (largest algebraic) eigenpairs of the symmetric
+  /// operator given by `matvec` on R^d. On return `eigenvalues` holds
+  /// min(k, d) values in non-increasing order (not clamped — small
+  /// negatives from a PSD operator are reported as computed) and row i of
+  /// `eigenvectors` (min(k,d) x d) is the matching unit eigenvector.
+  /// `info.converged` is true when every returned pair passed the
+  /// residual test (always true once the basis spans R^d, where
+  /// Rayleigh-Ritz is exact).
+  LanczosInfo TopK(size_t d, size_t k, const SymmetricMatvec& matvec,
+                   std::vector<double>* eigenvalues, Matrix* eigenvectors,
+                   const LanczosOptions& opts = LanczosOptions());
+
+  /// TopK on an explicit symmetric matrix (the shared row-dot matvec
+  /// lives here so callers that reuse this solver's workspaces don't
+  /// each hand-roll it).
+  LanczosInfo TopKOfGram(const Matrix& gram, size_t k,
+                         std::vector<double>* eigenvalues,
+                         Matrix* eigenvectors,
+                         const LanczosOptions& opts = LanczosOptions());
+
+  /// TopK of A^T A for a row matrix A (n x d) without materializing the
+  /// Gram: each matvec is two GEMV-shaped passes over the rows
+  /// (y = A^T (A x)), which wins whenever n < d. The n-length scratch is
+  /// solver-owned, so steady-state solves stay allocation-free.
+  LanczosInfo TopKOfRows(const Matrix& rows, size_t k,
+                         std::vector<double>* eigenvalues,
+                         Matrix* eigenvectors,
+                         const LanczosOptions& opts = LanczosOptions());
+
+ private:
+  void EnsureWorkspace(size_t d, size_t m);
+
+  Matrix q_;    // basis rows (m x d), orthonormal
+  Matrix sq_;   // S * basis rows (m x d)
+  Matrix u_;    // Ritz-vector scratch (m x d)
+  Matrix su_;   // S * Ritz-vector scratch (m x d)
+  Matrix t_;    // projected operator (j x j)
+  Matrix y_;    // eigenvector coefficients of t_ (j x j)
+  std::vector<double> cand_;   // expansion candidate (d)
+  std::vector<double> theta_;  // Ritz values scratch
+  std::vector<size_t> order_;  // descending sort permutation
+  std::vector<double> rowmv_;  // n-length scratch for TopKOfRows
+};
+
+/// Top-k eigenpairs of an explicit symmetric matrix (e.g. a Gram).
+LanczosInfo LanczosTopKOfGram(const Matrix& gram, size_t k,
+                              std::vector<double>* eigenvalues,
+                              Matrix* eigenvectors,
+                              const LanczosOptions& opts = LanczosOptions());
+
+/// One-shot convenience over LanczosSolver::TopKOfRows (throwaway
+/// workspaces; callers in a loop should own a solver instead).
+LanczosInfo LanczosTopKOfRows(const Matrix& rows, size_t k,
+                              std::vector<double>* eigenvalues,
+                              Matrix* eigenvectors,
+                              const LanczosOptions& opts = LanczosOptions());
+
+/// Both spectral extremes (algebraic min and max eigenvalue) of a
+/// symmetric matrix via two top-1 Lanczos solves (on S and on -S, so
+/// indefinite difference matrices are handled). Falls back to the exact
+/// Jacobi route if either solve misses its residual tolerance, so the
+/// result is always trustworthy.
+void SymmetricEigenExtremesLanczos(const Matrix& s, double* lambda_min,
+                                   double* lambda_max, double tol = 1e-12);
+
+/// Spectral norm (largest |eigenvalue|) of a symmetric matrix — the
+/// max-magnitude reduction of SymmetricEigenExtremesLanczos.
+double SpectralNormSymmetricLanczos(const Matrix& s, double tol = 1e-12);
+
+}  // namespace linalg
+}  // namespace dmt
+
+#endif  // DMT_LINALG_LANCZOS_H_

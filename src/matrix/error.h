@@ -4,7 +4,9 @@
 //   err = ||A^T A - B^T B||_2 / ||A||_F^2
 //       = max_{unit x} |‖Ax‖² − ‖Bx‖²| / ‖A‖²_F
 //
-// computed exactly by Jacobi eigendecomposition of the d x d difference.
+// computed via two top-1 Lanczos solves on the d x d difference (only the
+// spectral extremes are needed; the exact Jacobi route remains the
+// fallback when a partial solve misses its residual tolerance).
 #ifndef DMT_MATRIX_ERROR_H_
 #define DMT_MATRIX_ERROR_H_
 

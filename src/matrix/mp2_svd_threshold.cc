@@ -1,7 +1,10 @@
 #include "matrix/mp2_svd_threshold.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/jacobi_eigen.h"
+#include "linalg/kernels.h"
 #include "linalg/svd.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
@@ -24,7 +27,6 @@ void MP2SvdThreshold::EnsureDim(const std::vector<double>& row) {
     coord_gram_ = linalg::Matrix(dim_, dim_);
     for (auto& st : sites_) {
       st.gram = linalg::Matrix(dim_, dim_);
-      st.basis = linalg::Matrix::Identity(dim_);
     }
   });
   DMT_CHECK_EQ(row.size(), dim_);
@@ -137,9 +139,8 @@ void MP2SvdThreshold::ElementPhase(size_t site,
     return;
   }
 
-  // Append the row in the site's rotated basis: G' += (V^T a)(V^T a)^T.
-  std::vector<double> rotated = st.basis.TransposedMultiplyVector(row);
-  st.gram.AddOuterProduct(1.0, rotated);
+  // Append the row: one symmetric rank-1 update on the raw Gram.
+  st.gram.AddOuterProduct(1.0, row);
   st.trace += w;
   if (st.trace >= threshold && st.trace >= st.next_check) {
     MaybeSendDirections(site, sink);
@@ -152,41 +153,102 @@ void MP2SvdThreshold::MaybeSendDirections(size_t site,
   const double m = static_cast<double>(network_.num_sites());
   const double threshold = (eps_ / m) * st.fest;
   decompositions_.fetch_add(1, std::memory_order_relaxed);
+  const size_t d = dim_;
 
-  // Warm-started, *targeted* diagonalization: the Gram is already nearly
-  // diagonal from the previous check, and the small-eigenvalue block
-  // (Gershgorin bound below threshold/2) provably cannot host a
-  // send-worthy direction, so its rotations are skipped entirely.
-  linalg::JacobiDiagonalizeInPlace(&st.gram, &st.basis, 1e-14, 60,
-                                   threshold / 2.0);
+  // Exact trace from the diagonal (the incrementally-maintained st.trace
+  // may carry drift; the certificate below needs the real thing).
+  double trace = 0.0;
+  for (size_t i = 0; i < d; ++i) trace += st.gram(i, i);
 
-  // Ship every direction at or above the threshold; zeroing its diagonal
-  // entry is exactly the paper's "set sigma_l = 0; B_j = U Sigma V^T".
-  for (size_t i = 0; i < dim_; ++i) {
-    const double lam = st.gram(i, i);
-    if (lam >= threshold && lam > 0.0) {
-      EmitDirection(site, lam, st.basis.ColVector(i), sink);
-      st.gram(i, i) = 0.0;
+  // Partial Lanczos solve with a trace certificate, k growing
+  // geometrically: every eigenvalue >= threshold is provably among the
+  // computed pairs once (a) the smallest computed Ritz value is below the
+  // threshold and (b) the spectrum mass not captured by the computed
+  // pairs — at most trace minus the captured Ritz sum, plus the solver's
+  // residual coupling — is below it too.
+  bool solved = false;
+  size_t count = 0;       // computed pairs in st.vals / st.vecs rows
+  double leftover = 0.0;  // bound on the un-computed spectrum mass
+  double slack = 0.0;     // Ritz-value accuracy + trace roundoff
+  size_t k = std::min(d, size_t{4});
+  while (true) {
+    linalg::LanczosOptions opts;
+    // Tight: the shipped pairs are also the deflation directions, and
+    // their residuals accumulate in the site Gram across checks — keep
+    // that drift far below any plausible threshold margin.
+    opts.tol = 1e-13;
+    if (st.seed.size() == d) opts.seed = st.seed.data();
+    linalg::LanczosInfo info =
+        st.solver.TopKOfGram(st.gram, k, &st.vals, &st.vecs, opts);
+    if (!info.converged) break;  // exact fallback below
+    double captured = 0.0;
+    for (size_t i = 0; i < k; ++i) captured += st.vals[i];
+    leftover = std::max(0.0, trace - captured);
+    slack = info.residual_bound + 1e-9 * std::fabs(trace);
+    if ((st.vals[k - 1] < threshold && leftover + slack < threshold) ||
+        k == d) {
+      if (k == d) leftover = 0.0;  // full space computed
+      count = k;
+      solved = true;
+      break;
+    }
+    // Flat spectra would need k ~ d for the certificate; one exact
+    // decomposition is cheaper than Rayleigh-Ritz on most of R^d.
+    if (k >= (d + 1) / 2) break;
+    k = std::min(d, 2 * k);
+  }
+
+  if (!solved) {
+    linalg::EigenDecomposition e = linalg::SymmetricEigen(st.gram);
+    count = d;
+    leftover = 0.0;
+    slack = 1e-9 * std::fabs(trace);
+    st.vals.assign(e.eigenvalues.begin(), e.eigenvalues.end());
+    if (st.vecs.rows() != d || st.vecs.cols() != d) {
+      st.vecs = linalg::Matrix(d, d);
+    }
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) st.vecs(i, j) = e.eigenvectors(j, i);
     }
   }
-  // Recompute the trace and a sound upper bound on the remaining top
-  // eigenvalue (Gershgorin: diag + absolute row sum covers the rows the
-  // targeted pass left un-diagonalized).
+
+  // Ship every direction at or above the threshold, then remove them from
+  // the Gram in one batched rank-1 pass — exactly the paper's
+  // "set sigma_l = 0; B_j = U Sigma V^T".
+  size_t shipped = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const double lam = st.vals[i];
+    if (lam < threshold || lam <= 0.0) break;  // sorted descending
+    EmitDirection(site, lam,
+                  std::vector<double>(st.vecs.Row(i), st.vecs.Row(i) + d),
+                  sink);
+    ++shipped;
+  }
+  if (shipped > 0) {
+    std::vector<double> neg(shipped);
+    for (size_t i = 0; i < shipped; ++i) neg[i] = -st.vals[i];
+    linalg::kernels::BatchedRank1(st.vecs.Row(0), neg.data(), shipped, d,
+                                  st.gram.Row(0));
+  }
+
+  // Certified bound on the remaining lambda_max: the leading un-shipped
+  // Ritz value within the computed subspace, or the un-computed remainder
+  // of the trace, whichever is larger — plus the accuracy slack. No kept
+  // direction can reach the threshold before the trace has grown by the
+  // remaining gap (a row raises lambda_max by at most its norm).
   double kept_trace = 0.0;
-  double lambda_max_bound = 0.0;
-  for (size_t i = 0; i < dim_; ++i) {
-    const double lam = st.gram(i, i);
-    kept_trace += std::max(lam, 0.0);
-    double radius = 0.0;
-    for (size_t j = 0; j < dim_; ++j) {
-      if (j != i) radius += std::fabs(st.gram(i, j));
-    }
-    lambda_max_bound = std::max(lambda_max_bound, lam + radius);
+  for (size_t i = 0; i < d; ++i) {
+    kept_trace += std::max(st.gram(i, i), 0.0);
   }
   st.trace = kept_trace;
-  // No kept direction can reach the threshold before the trace has grown
-  // by the remaining gap (a row raises lambda_max by at most its norm).
-  st.next_check = st.trace + (threshold - lambda_max_bound);
+  const double remaining_top =
+      shipped < count ? std::max(0.0, st.vals[shipped]) : 0.0;
+  const double bound = std::max(remaining_top, leftover) + slack;
+  st.next_check = st.trace + (threshold - bound);
+  // Warm-start the next check from the leading remaining direction.
+  if (shipped < count) {
+    st.seed.assign(st.vecs.Row(shipped), st.vecs.Row(shipped) + d);
+  }
 }
 
 linalg::Matrix MP2SvdThreshold::CoordinatorSketch() const {

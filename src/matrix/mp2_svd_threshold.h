@@ -16,10 +16,24 @@
 // matrix G_j (appending a row and removing a singular direction are both
 // exact Gram-level operations). Since appending row a raises the top
 // eigenvalue by at most ‖a‖², no direction can cross the threshold until
-// trace(G_j) does — and after an eigendecomposition that ships nothing,
-// not until the trace grows by another (threshold − λ_max). This makes the
-// per-row cost O(d²) amortized while sending *exactly* the same messages
-// as the paper's per-row svd formulation.
+// trace(G_j) does — and after a threshold check that ships nothing, not
+// until the trace grows by another (threshold − bound) where `bound` is a
+// certified upper bound on the remaining λ_max. This makes the per-row
+// cost O(d²) amortized while sending *exactly* the same messages as the
+// paper's per-row svd formulation.
+//
+// A threshold check only needs the eigenvalues at or above the threshold,
+// so it runs on the partial Lanczos solver (linalg/lanczos.h): solve the
+// top-k pairs (k grows geometrically from 4), ship every pair at or above
+// the threshold, and deflate them from G_j with one batched rank-1 pass.
+// The certificate that nothing send-worthy was missed comes from the
+// exactly-known trace: the spectrum not captured by the returned Ritz
+// pairs sums to at most trace(G_j) − Σθᵢ, so once that remainder (plus
+// the solver's residual coupling bound) is below the threshold, every
+// eigenvalue ≥ threshold is provably among the computed pairs. Streams
+// with flat spectra, where k would have to approach d for that
+// certificate, fall back to one exact Jacobi decomposition instead — the
+// messages are identical either way.
 #ifndef DMT_MATRIX_MP2_SVD_THRESHOLD_H_
 #define DMT_MATRIX_MP2_SVD_THRESHOLD_H_
 
@@ -28,6 +42,7 @@
 #include <mutex>
 #include <vector>
 
+#include "linalg/lanczos.h"
 #include "matrix/matrix_protocol.h"
 #include "stream/network.h"
 
@@ -54,25 +69,30 @@ class MP2SvdThreshold : public MatrixTrackingProtocol {
   std::string name() const override { return "P2"; }
 
   double coordinator_frobenius() const { return coord_fest_; }
-  /// Eigendecompositions performed across all sites (cost diagnostic).
+  /// Threshold checks (partial or fallback eigensolves) across all sites
+  /// (cost diagnostic).
   size_t decomposition_count() const {
     return decompositions_.load(std::memory_order_relaxed);
   }
 
  private:
-  // Each site keeps the Gram of its unsent rows expressed in its own
-  // rotating eigenbasis: B_j^T B_j = basis * gram * basis^T with `gram`
-  // kept nearly diagonal. Appending a row adds (basis^T a)(basis^T a)^T;
-  // a threshold check is a warm-started Jacobi pass that applies only the
-  // rotations the new rows require. The messages produced are identical
-  // to decomposing from scratch.
+  // Each site keeps the Gram of its unsent rows in original coordinates;
+  // appending a row is one symmetric rank-1 update and a threshold check
+  // is a warm-seeded partial Lanczos solve (certified through the trace,
+  // see the header comment). The messages produced are identical to
+  // decomposing from scratch.
   struct SiteState {
-    linalg::Matrix basis;       // V: d x d orthogonal
-    linalg::Matrix gram;        // V^T B_j^T B_j V, nearly diagonal
+    linalg::Matrix gram;        // B_j^T B_j
     double trace = 0.0;         // trace(gram) maintained incrementally
-    double next_check = 0.0;    // no eigendecomposition before this trace
+    double next_check = 0.0;    // no threshold check before this trace
     double scalar_counter = 0.0;// F_j for total-mass reports
     double fest = 0.0;          // F-hat as known by the site
+    // Warm start and solver scratch; per-site so the concurrent
+    // SiteUpdate phase never shares mutable state across sites.
+    std::vector<double> seed;   // previous check's leading eigenvector
+    linalg::LanczosSolver solver;
+    std::vector<double> vals;
+    linalg::Matrix vecs;
   };
 
   /// One queued site->coordinator message: either a total-mass scalar

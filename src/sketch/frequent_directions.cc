@@ -9,13 +9,22 @@
 #include "linalg/kernels.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace dmt {
 namespace sketch {
 
 FrequentDirections::FrequentDirections(size_t ell, size_t dim)
-    : ell_(ell), dim_(dim) {
+    : ell_(ell), dim_(dim), backend_(DefaultShrinkBackend()) {
   DMT_CHECK_GE(ell, 1u);
+}
+
+FdShrinkBackend FrequentDirections::DefaultShrinkBackend() {
+  static const FdShrinkBackend def =
+      GetEnvString("DMT_FD_BACKEND", "lanczos") == "jacobi"
+          ? FdShrinkBackend::kJacobi
+          : FdShrinkBackend::kLanczos;
+  return def;
 }
 
 FrequentDirections FrequentDirections::WithEpsilon(double eps, size_t dim) {
@@ -93,24 +102,100 @@ void FrequentDirections::Compress() {
   if (buffer_.rows() > ell_) Shrink();
 }
 
-void FrequentDirections::EnsureShrinkWorkspace() {
-  if (workspace_ready_) return;
+void FrequentDirections::EnsureJacobiWorkspace() {
+  if (jacobi_ready_) return;
   DMT_CHECK_GT(dim_, 0u);
-  buffer_.ReserveRows(BufferCapacityRows());
-  basis_ = linalg::Matrix::Identity(dim_);
+  basis_ = linalg::Matrix(dim_, dim_);
   gram_work_ = linalg::Matrix(dim_, dim_);
   basis_work_ = linalg::Matrix(dim_, dim_);
   rotated_ = linalg::Matrix(0, dim_);
   rotated_.ReserveRows(BufferCapacityRows());
   diag_.assign(dim_, 0.0);
   order_.resize(dim_);
-  kept_rows_ = 0;
-  workspace_ready_ = true;
+  jacobi_ready_ = true;
 }
 
 void FrequentDirections::Shrink() {
   ++shrink_count_;
-  EnsureShrinkWorkspace();
+  DMT_CHECK_GT(dim_, 0u);
+  buffer_.ReserveRows(BufferCapacityRows());
+  if (backend_ == FdShrinkBackend::kJacobi) {
+    ShrinkJacobi();
+    return;
+  }
+  if (!ShrinkLanczos()) {
+    // Residual tolerance missed (adversarial seed/spectrum): rerun this
+    // shrink on the exact reference path. The buffer is untouched until a
+    // Lanczos solve succeeds, so the rerun sees the same rows.
+    ++lanczos_fallbacks_;
+    ShrinkJacobi();
+  }
+}
+
+bool FrequentDirections::ShrinkLanczos() {
+  const size_t d = dim_;
+  const size_t n = buffer_.rows();
+  const size_t k = std::min(ell_ + 1, d);
+
+  linalg::LanczosOptions opts;
+  opts.tol = 1e-11;
+  if (warm_seed_.size() == d) opts.seed = warm_seed_.data();
+
+  linalg::LanczosInfo info;
+  if (n < d) {
+    // Buffer currently wider than tall: iterate on the rows directly —
+    // each matvec is two GEMV-shaped passes, y = B^T (B x) — so the
+    // d x d Gram is never materialized. This covers every shrink when
+    // 4*ell < d, and streaming (2*ell-row) shrinks up to d > 2*ell.
+    info = eigensolver_.TopKOfRows(buffer_, k, &eigenvalues_,
+                                   &eigenvectors_, opts);
+  } else {
+    // Tall buffer: one blocked Gram build, then d^2 matvecs on it.
+    if (lanczos_gram_.rows() != d) lanczos_gram_ = linalg::Matrix(d, d);
+    linalg::kernels::Gram(buffer_.Row(0), n, d, lanczos_gram_.Row(0));
+    info = eigensolver_.TopKOfGram(lanczos_gram_, k, &eigenvalues_,
+                                   &eigenvectors_, opts);
+  }
+  if (!info.converged) return false;
+
+  const double delta =
+      ell_ < d ? std::max(0.0, eigenvalues_[ell_]) : 0.0;
+  total_shrinkage_ += delta;
+
+  size_t kept = 0;
+  for (size_t i = 0; i < ell_ && i < d; ++i) {
+    if (eigenvalues_[i] - delta <= 0.0) break;  // sorted descending
+    kept = i + 1;
+  }
+
+  // Warm seed for the next shrink, captured before the rebuild below.
+  warm_seed_.assign(eigenvectors_.Row(0), eigenvectors_.Row(0) + d);
+
+  for (size_t i = 0; i < kept; ++i) {
+    // Clamp before the sqrt: near-tied lambda_ell ~ lambda_{ell+1} can
+    // leave the difference a roundoff hair negative.
+    const double lam = std::max(0.0, eigenvalues_[i] - delta);
+    const double scale = std::sqrt(lam);
+    const double* v = eigenvectors_.Row(i);
+    double* row = buffer_.Row(i);
+    for (size_t j = 0; j < d; ++j) row[j] = scale * v[j];
+  }
+  buffer_.ResizeRows(kept);
+  jacobi_warm_valid_ = false;  // kept rows are no longer basis_ columns
+  return true;
+}
+
+void FrequentDirections::ShrinkJacobi() {
+  EnsureJacobiWorkspace();
+  if (!jacobi_warm_valid_) {
+    // Cold start: no rows are pre-diagonalized, the rotation basis is
+    // fresh. The warm machinery below then rotates every buffer row in.
+    basis_.SetZero();
+    for (size_t i = 0; i < dim_; ++i) basis_(i, i) = 1.0;
+    gram_work_.SetZero();
+    kept_rows_ = 0;
+    jacobi_warm_valid_ = true;
+  }
   const size_t d = dim_;
   const size_t n = buffer_.rows();
 
@@ -155,9 +240,11 @@ void FrequentDirections::Shrink() {
 
   // Rebuild the surviving rows in place: row i = sqrt(lambda_i - delta)
   // times eigenvector order_[i]. Safe because kept <= ell < n and the
-  // source is basis_, not the buffer.
+  // source is basis_, not the buffer. The max() clamps the subtraction
+  // against roundoff-negative differences (near-tied lambda_ell ~
+  // lambda_{ell+1}) that would otherwise sqrt into NaN.
   for (size_t i = 0; i < kept; ++i) {
-    const double scale = std::sqrt(diag_[order_[i]] - delta);
+    const double scale = std::sqrt(std::max(0.0, diag_[order_[i]] - delta));
     const size_t c = order_[i];
     double* row = buffer_.Row(i);
     for (size_t j = 0; j < d; ++j) row[j] = scale * basis_(j, c);
@@ -175,9 +262,15 @@ void FrequentDirections::Shrink() {
   std::swap(basis_, basis_work_);
   gram_work_.SetZero();
   for (size_t i = 0; i < kept; ++i) {
-    gram_work_(i, i) = diag_[order_[i]] - delta;
+    gram_work_(i, i) = std::max(0.0, diag_[order_[i]] - delta);
   }
   kept_rows_ = kept;
+
+  // Keep the Lanczos warm seed fresh too, so switching backends
+  // mid-stream still warm-starts (column 0 of the permuted basis is the
+  // leading eigenvector).
+  warm_seed_.resize(d);
+  for (size_t r = 0; r < d; ++r) warm_seed_[r] = basis_(r, 0);
 }
 
 double FrequentDirections::SquaredNormAlong(

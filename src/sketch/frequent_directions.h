@@ -9,24 +9,31 @@
 //  * We use the doubled-buffer ("fast FD") variant: rows accumulate in a
 //    buffer of capacity 2*ell; when full, one shrink keeps <= ell rows.
 //    Amortized update cost is O(d^2) per row.
-//  * The shrink pipeline is allocation-free in steady state and
-//    warm-started. The sketch owns a row buffer preallocated to 4*ell
-//    rows (2*ell for the streaming path; the head-room absorbs Merge and
-//    bulk-append spikes without reallocating) plus persistent d x d
-//    Gram/eigen workspaces. Shrink() works at the Gram level: the
-//    surviving rows of the previous shrink are exact scaled eigenvectors
-//    of the retained rotation basis V, so their Gram is the diagonal
-//    carried over from last time; only the rows appended since are
-//    rotated into V (one blocked GEMM) and accumulated (one blocked
-//    batched rank-1 pass). The cyclic Jacobi sweep then starts from an
-//    already mostly-diagonal matrix — the warm start — instead of a cold
-//    eigendecomposition from scratch, and the shrunk rows are rebuilt in
-//    place in the same buffer.
-//  * Shrinking at the Gram level (subtract the (ell+1)-th eigenvalue from
-//    every eigenvalue, clamp at 0, rebuild rows as sqrt(lambda') * v^T)
-//    is numerically equivalent to the SVD formulation in the paper;
-//    tests/fd_shrink_test.cc pins the warm path against a cold
-//    RightSingularOf reference.
+//  * A shrink only ever needs the top ell+1 eigenpairs of the buffer's
+//    Gram (the FD analysis [Liberty KDD'13; Ghashami & Phillips SODA'14]
+//    depends only on delta = lambda_{ell+1} and the leading subspace).
+//    The default shrink backend is therefore a thick-restart Lanczos
+//    partial eigensolver (linalg/lanczos.h): whenever the buffer is
+//    currently wider than tall (fewer rows than columns — always the
+//    case when 4*ell < d, and for streaming 2*ell-row shrinks whenever
+//    2*ell < d) it iterates directly on the rows — two GEMV-shaped
+//    passes per matvec, never materializing the d x d Gram — and
+//    otherwise on a persistent Gram workspace. The Krylov seed is
+//    warm-started from the previous shrink's leading eigenvector. If a
+//    solve ever fails its residual test (not observed in practice; see
+//    lanczos_fallback_count) the shrink transparently reruns on the
+//    Jacobi reference path.
+//  * The full-spectrum Jacobi pipeline is kept as the reference backend
+//    (set_shrink_backend / DMT_FD_BACKEND=jacobi): allocation-free and
+//    warm-started, it keeps the surviving rows as exact scaled
+//    eigenvectors of a retained rotation basis V so only rows appended
+//    since the last shrink are rotated in (one blocked GEMM + one
+//    blocked symmetric accumulation) before a warm cyclic Jacobi sweep.
+//  * Both backends shrink at the Gram level (subtract the (ell+1)-th
+//    eigenvalue from every kept eigenvalue, clamp at 0, rebuild rows as
+//    sqrt(lambda') * v^T in place), numerically equivalent to the SVD
+//    formulation in the paper; tests/fd_shrink_test.cc pins both against
+//    a cold RightSingularOf reference and against each other.
 //  * Sketches are mergeable [Agarwal et al. 2012]: Merge() bulk-appends
 //    the other sketch's rows and lets one shrink re-compress; errors add,
 //    so the combined sketch still satisfies the bound for A1 stacked on
@@ -40,10 +47,19 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/lanczos.h"
 #include "linalg/matrix.h"
 
 namespace dmt {
 namespace sketch {
+
+/// Which eigensolver a FrequentDirections shrink uses.
+enum class FdShrinkBackend {
+  /// Thick-restart Lanczos, top ell+1 pairs only (the default fast path).
+  kLanczos,
+  /// Full-spectrum warm-started cyclic Jacobi (the reference path).
+  kJacobi,
+};
 
 /// Streaming Frequent Directions sketch.
 class FrequentDirections {
@@ -102,18 +118,35 @@ class FrequentDirections {
   /// Number of shrink (eigendecomposition) events so far.
   size_t shrink_count() const { return shrink_count_; }
 
+  /// Selects the shrink eigensolver. May be switched at any time — the
+  /// Jacobi path cold-starts after a Lanczos shrink (its warm-start
+  /// invariant no longer holds) and re-warms from there.
+  void set_shrink_backend(FdShrinkBackend backend) { backend_ = backend; }
+  FdShrinkBackend shrink_backend() const { return backend_; }
+  /// Process-wide default backend: Lanczos unless DMT_FD_BACKEND=jacobi.
+  static FdShrinkBackend DefaultShrinkBackend();
+  /// Shrinks where the Lanczos solve missed its residual tolerance and
+  /// the Jacobi reference path ran instead (expected 0; observability).
+  size_t lanczos_fallback_count() const { return lanczos_fallbacks_; }
+
  private:
   /// Buffer capacity in rows: 2*ell for streaming plus head-room so the
   /// Merge/AppendRows bulk paths never reallocate.
   size_t BufferCapacityRows() const { return 4 * ell_; }
 
-  /// One-time (per sketch) allocation of the shrink workspaces, deferred
-  /// until the first shrink so short-lived sketches (e.g. the size-1
-  /// blocks of SlidingWindowFD) stay tiny.
-  void EnsureShrinkWorkspace();
+  /// One-time (per sketch) allocation of the Jacobi-path workspaces,
+  /// deferred until the first Jacobi shrink so Lanczos-backed sketches
+  /// never pay for the three d x d matrices.
+  void EnsureJacobiWorkspace();
 
   void ShrinkIfNeeded();
   void Shrink();
+  /// Jacobi reference shrink (cold-starts when jacobi_warm_valid_ is
+  /// false, e.g. right after a Lanczos shrink).
+  void ShrinkJacobi();
+  /// Lanczos partial shrink; returns false if the solve did not converge
+  /// (caller then runs ShrinkJacobi on the untouched buffer).
+  bool ShrinkLanczos();
 
   size_t ell_;
   size_t dim_;
@@ -121,11 +154,22 @@ class FrequentDirections {
   double stream_sq_frob_ = 0.0;
   double total_shrinkage_ = 0.0;
   size_t shrink_count_ = 0;
+  FdShrinkBackend backend_;
+  size_t lanczos_fallbacks_ = 0;
 
-  // --- persistent shrink pipeline state (see EnsureShrinkWorkspace) ---
-  bool workspace_ready_ = false;
-  // Leading buffer rows that are exact scaled eigenvectors of basis_
-  // (buffer row i == sqrt(gram_work_(i,i)) * column i of basis_).
+  // --- Lanczos backend state (allocated lazily on first use) ---
+  linalg::LanczosSolver eigensolver_;
+  std::vector<double> eigenvalues_;   // top ell+1, descending
+  linalg::Matrix eigenvectors_;       // (ell+1) x d eigenvector rows
+  std::vector<double> warm_seed_;     // previous shrink's leading vector
+  linalg::Matrix lanczos_gram_;       // d x d, only for tall (n >= d) shrinks
+
+  // --- Jacobi backend state (see EnsureJacobiWorkspace) ---
+  bool jacobi_ready_ = false;
+  // True when the warm-start invariant holds: buffer rows [0, kept_rows_)
+  // are exact scaled eigenvectors of basis_ with diagonal Gram stored in
+  // gram_work_. A Lanczos shrink invalidates it.
+  bool jacobi_warm_valid_ = false;
   size_t kept_rows_ = 0;
   linalg::Matrix basis_;       // d x d rotation carried across shrinks
   linalg::Matrix gram_work_;   // d x d rotated Gram (diagonal after shrink)

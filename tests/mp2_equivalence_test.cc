@@ -1,11 +1,11 @@
 // Equivalence test for MP2's engineering shortcuts.
 //
-// The implementation maintains each site's Gram in a rotating eigenbasis,
-// guards eigendecompositions behind a trace bound, and skips rotations in
-// the provably-below-threshold subspace. This test pits it against a
-// literal transcription of the paper's Algorithm 5.3/5.4 — full
-// decomposition of the raw Gram after every row — and requires identical
-// messages and an identical coordinator state.
+// The implementation guards threshold checks behind a trace bound and
+// runs each check as a trace-certified partial Lanczos solve (with an
+// exact-decomposition fallback for flat spectra). This test pits it
+// against a literal transcription of the paper's Algorithm 5.3/5.4 —
+// full decomposition of the raw Gram after every row — and requires
+// identical messages and an identical coordinator state.
 #include <cmath>
 #include <vector>
 

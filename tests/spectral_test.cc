@@ -1,6 +1,8 @@
 #include "linalg/spectral.h"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -24,6 +26,80 @@ TEST(SpectralTest, PowerIterationOnZeroMatrix) {
   Rng rng(2);
   Matrix s(5, 5);
   EXPECT_DOUBLE_EQ(PowerIterationSpectralNorm(s, 50, &rng), 0.0);
+}
+
+// Satellite regression: with near-tied leading eigenvalues
+// (lambda_1/lambda_2 = 1.001) a fixed iteration count converges at rate
+// (1/1.001)^iters and silently underestimates; the residual-based
+// stopping criterion must keep iterating until the estimate is certified.
+TEST(SpectralTest, PowerIterationConvergesOnNearTiedEigenvalues) {
+  Rng rng(21);
+  const size_t d = 8;
+  Matrix q = RandomOrthogonalMatrix(d, &rng);
+  std::vector<double> lambda = {1.001, 1.0, 0.5, 0.3, 0.2, 0.1, 0.05, 0.01};
+  Matrix s(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      double v = 0.0;
+      for (size_t t = 0; t < d; ++t) v += q(i, t) * lambda[t] * q(j, t);
+      s(i, j) = v;
+    }
+  }
+  const double exact = SpectralNormSymmetric(s);
+  ASSERT_NEAR(exact, 1.001, 1e-10);
+
+  // Legacy behaviour (tol = 0 disables the residual stop): 300 fixed
+  // iterations leave a visible mixture with the lambda_2 eigenvector.
+  Rng legacy_rng(22);
+  const double legacy =
+      PowerIterationSpectralNorm(s, 300, &legacy_rng, /*tol=*/0.0);
+  EXPECT_LT(legacy, exact - 1e-5 * exact);
+
+  // Residual-certified run: converges (well past 300 iterations) to the
+  // true norm.
+  Rng conv_rng(22);
+  int iters_used = 0;
+  const double converged = PowerIterationSpectralNorm(
+      s, 2000000, &conv_rng, /*tol=*/1e-8, &iters_used);
+  EXPECT_NEAR(converged, exact, 1e-6 * exact);
+  EXPECT_GT(iters_used, 300);
+  EXPECT_LT(iters_used, 2000000);
+}
+
+// Satellite regression: a start vector in the null space used to make
+// the function return 0 for a non-zero matrix; the deterministic
+// canonical-vector restart must recover. Construction: for x0 = (a, b),
+// the symmetric matrix [[b, -a], [-a, a²/b]] annihilates x0 — row 0 is
+// exact in floating point (fl(b·a) cancels fl(-a·b), the same product),
+// row 1 whenever fl(a²)/b·b round-trips; the seed scan checks the
+// exact-zero precondition through the real MultiplyVector code path.
+TEST(SpectralTest, PowerIterationRestartsOnZeroIterate) {
+  uint64_t seed = 0;
+  Matrix s(2, 2);
+  for (uint64_t cand = 1; cand < 500 && seed == 0; ++cand) {
+    Rng probe(cand);
+    std::vector<double> x0 = RandomUnitVector(2, &probe);
+    const double a = x0[0], b = x0[1];
+    if (a == 0.0 || b == 0.0) continue;
+    Matrix t(2, 2);
+    t(0, 0) = b;
+    t(0, 1) = -a;
+    t(1, 0) = -a;
+    t(1, 1) = (a * a) / b;
+    std::vector<double> y = t.MultiplyVector(x0);
+    if (y[0] == 0.0 && y[1] == 0.0) {
+      seed = cand;
+      s = t;
+    }
+  }
+  ASSERT_GT(seed, 0u) << "no seed produced an exact null start vector";
+  const double exact = SpectralNormSymmetric(s);
+  ASSERT_GT(exact, 0.0);
+
+  Rng rng(seed);
+  const double norm = PowerIterationSpectralNorm(s, 20000, &rng, 1e-10);
+  // Legacy behaviour returned 0.0 the moment the first iterate vanished.
+  EXPECT_NEAR(norm, exact, 1e-6 * exact);
 }
 
 TEST(SpectralTest, RandomUnitVectorHasUnitNorm) {

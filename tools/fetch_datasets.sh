@@ -34,7 +34,13 @@ command -v unzip >/dev/null 2>&1 || die "need unzip on PATH"
 
 mkdir -p "$DATA_DIR"
 TMP="$(mktemp -d "${TMPDIR:-/tmp}/dmt_datasets.XXXXXX")"
+# Clean the staging directory on any exit; bash only runs the EXIT trap
+# for a signal-induced death if the signal itself is trapped, so cover
+# Ctrl-C / TERM during the multi-hundred-MB downloads explicitly.
 trap 'rm -rf "$TMP"' EXIT
+trap 'exit 129' HUP
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 # ---------------------------------------------------------------- PAMAP
 if ls "$DATA_DIR"/pamap/*.dat >/dev/null 2>&1; then
