@@ -11,7 +11,6 @@
 #define DMT_CORE_CONTINUOUS_HH_TRACKER_H_
 
 #include <cstddef>
-
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -17,7 +17,6 @@
 #define DMT_CORE_CONTINUOUS_MATRIX_TRACKER_H_
 
 #include <cstddef>
-
 #include <memory>
 #include <string>
 #include <vector>

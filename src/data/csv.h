@@ -13,7 +13,6 @@
 #define DMT_DATA_CSV_H_
 
 #include <cstddef>
-
 #include <functional>
 #include <string>
 #include <vector>

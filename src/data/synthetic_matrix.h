@@ -16,7 +16,6 @@
 #define DMT_DATA_SYNTHETIC_MATRIX_H_
 
 #include <cstddef>
-
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -5,7 +5,6 @@
 #define DMT_DATA_ZIPF_H_
 
 #include <cstddef>
-
 #include <cstdint>
 #include <vector>
 

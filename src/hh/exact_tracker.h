@@ -6,7 +6,8 @@
 #define DMT_HH_EXACT_TRACKER_H_
 
 #include <cstddef>
-
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>

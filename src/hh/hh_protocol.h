@@ -4,7 +4,6 @@
 #define DMT_HH_HH_PROTOCOL_H_
 
 #include <cstddef>
-
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -13,7 +13,8 @@
 #define DMT_HH_P1_BATCHED_MG_H_
 
 #include <cstddef>
-
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hh/hh_protocol.h"

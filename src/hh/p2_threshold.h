@@ -13,7 +13,8 @@
 #define DMT_HH_P2_THRESHOLD_H_
 
 #include <cstddef>
-
+#include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 

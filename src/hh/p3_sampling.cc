@@ -121,7 +121,11 @@ std::vector<uint64_t> P3SamplingWoR::TrackedElements() const {
   std::unordered_set<uint64_t> seen;
   for (const auto& e : q_cur_) seen.insert(e.element);
   for (const auto& e : q_next_) seen.insert(e.element);
-  return std::vector<uint64_t>(seen.begin(), seen.end());
+  // dmt-lint: allow(determinism-unordered-iter): drained into a vector and
+  // sorted below so callers observe a replay-stable order.
+  std::vector<uint64_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 P3SamplingWR::P3SamplingWR(size_t num_sites, double eps, uint64_t seed,
@@ -253,7 +257,11 @@ std::vector<uint64_t> P3SamplingWR::TrackedElements() const {
   for (const Slot& slot : slots_) {
     if (slot.top.priority > 0.0) seen.insert(slot.top.element);
   }
-  return std::vector<uint64_t>(seen.begin(), seen.end());
+  // dmt-lint: allow(determinism-unordered-iter): drained into a vector and
+  // sorted below so callers observe a replay-stable order.
+  std::vector<uint64_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace hh

@@ -18,9 +18,11 @@
 #ifndef DMT_HH_P3_SAMPLING_H_
 #define DMT_HH_P3_SAMPLING_H_
 
-#include <cstddef>
-
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "hh/hh_protocol.h"

@@ -95,6 +95,7 @@ double P4Randomized::CopyEstimate(size_t copy, uint64_t element) const {
   const double p = CurrentP();
   const double correction = std::isinf(p) ? 0.0 : 1.0 / p;
   double sum = 0.0;
+  // Ordered map: the site-by-site FP summation order is replay-stable.
   for (const auto& [site, tally] : it->second) {
     sum += tally + correction;
   }
@@ -124,10 +125,16 @@ const stream::CommStats& P4Randomized::comm_stats() const {
 
 std::vector<uint64_t> P4Randomized::TrackedElements() const {
   std::unordered_set<uint64_t> seen;
+  // dmt-lint: allow(determinism-unordered-iter): set union — the collected
+  // element set is order-independent; sorted before it escapes below.
   for (const auto& copy : reported_) {
     for (const auto& [e, sites] : copy) seen.insert(e);
   }
-  return std::vector<uint64_t>(seen.begin(), seen.end());
+  // dmt-lint: allow(determinism-unordered-iter): drained into a vector and
+  // sorted below so callers observe a replay-stable order.
+  std::vector<uint64_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace hh

@@ -14,7 +14,9 @@
 #define DMT_HH_P4_RANDOMIZED_H_
 
 #include <cstddef>
-
+#include <cstdint>
+#include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -87,8 +89,10 @@ class P4Randomized : public HeavyHitterProtocol {
   std::vector<std::unordered_map<uint64_t, double>> site_tally_;
   std::vector<std::vector<PendingReport>> outbox_;  // per-site, FIFO
   // Per-copy coordinator state: last reported tally w-bar_{e,j} per
-  // element per site.
-  std::vector<std::unordered_map<uint64_t, std::unordered_map<size_t, double>>>
+  // element per site. The inner per-site map is ordered: CopyEstimate sums
+  // its values in iteration order, and that floating-point reduction must
+  // be replay-stable (hash order is not).
+  std::vector<std::unordered_map<uint64_t, std::map<size_t, double>>>
       reported_;
 };
 

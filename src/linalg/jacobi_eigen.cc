@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace linalg {
@@ -20,8 +21,17 @@ double GershgorinRadius(const Matrix& a, size_t i) {
   return s;
 }
 
+DMT_ALLOC_OK("targeted-skip setup; the hot ignore_below == 0 path never materializes the bounds")
+void InitGershgorinBounds(const Matrix& a, std::vector<double>* bound) {
+  bound->assign(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    (*bound)[i] = a(i, i) + GershgorinRadius(a, i);
+  }
+}
+
 }  // namespace
 
+DMT_NO_ALLOC
 size_t JacobiDiagonalizeInPlace(Matrix* g, Matrix* v, double tol,
                                 int max_sweeps, double ignore_below) {
   DMT_CHECK_EQ(g->rows(), g->cols());
@@ -36,11 +46,12 @@ size_t JacobiDiagonalizeInPlace(Matrix* g, Matrix* v, double tol,
   size_t rotations = 0;
 
   // Gershgorin bounds (diag + radius) per row, for targeted skipping.
-  std::vector<double> bound(n, 0.0);
+  // Only materialized when the caller opted into skipping (`bound` is
+  // never read while ignore_below == 0): the hot Lanczos Rayleigh-Ritz
+  // path must not allocate per call.
+  std::vector<double> bound;
   if (ignore_below > 0.0) {
-    for (size_t i = 0; i < n; ++i) {
-      bound[i] = a(i, i) + GershgorinRadius(a, i);
-    }
+    InitGershgorinBounds(a, &bound);
   }
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {

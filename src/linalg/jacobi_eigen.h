@@ -9,7 +9,6 @@
 #define DMT_LINALG_JACOBI_EIGEN_H_
 
 #include <cstddef>
-
 #include <vector>
 
 #include "linalg/matrix.h"

@@ -61,8 +61,9 @@ void MirrorUpperToLower(double* g, size_t d) {
 
 }  // namespace
 
-void Gemm(const double* a, const double* b, double* c, size_t m, size_t k,
-          size_t n) {
+DMT_NO_ALLOC
+void Gemm(const double* DMT_NOALIAS a, const double* DMT_NOALIAS b,
+          double* DMT_NOALIAS c, size_t m, size_t k, size_t n) {
   std::fill(c, c + m * n, 0.0);
   if (m == 0 || n == 0 || k == 0) return;
 #if DMT_KERNELS_SIMD_DISPATCH
@@ -74,8 +75,9 @@ void Gemm(const double* a, const double* b, double* c, size_t m, size_t k,
   GemmCoreBase(a, b, c, m, k, n);
 }
 
-void GemmNaive(const double* a, const double* b, double* c, size_t m,
-               size_t k, size_t n) {
+DMT_NO_ALLOC
+void GemmNaive(const double* DMT_NOALIAS a, const double* DMT_NOALIAS b,
+               double* DMT_NOALIAS c, size_t m, size_t k, size_t n) {
   std::fill(c, c + m * n, 0.0);
   for (size_t i = 0; i < m; ++i) {
     const double* ai = a + i * k;
@@ -89,18 +91,24 @@ void GemmNaive(const double* a, const double* b, double* c, size_t m,
   }
 }
 
-void Gram(const double* a, size_t n, size_t d, double* g) {
+DMT_NO_ALLOC
+void Gram(const double* DMT_NOALIAS a, size_t n, size_t d,
+          double* DMT_NOALIAS g) {
   std::fill(g, g + d * d, 0.0);
   SyrkUpperAccumulate(a, nullptr, n, d, g);
   MirrorUpperToLower(g, d);
 }
 
-void GramAccumulate(const double* a, size_t n, size_t d, double* g) {
+DMT_NO_ALLOC
+void GramAccumulate(const double* DMT_NOALIAS a, size_t n, size_t d,
+                    double* DMT_NOALIAS g) {
   SyrkUpperAccumulate(a, nullptr, n, d, g);
   MirrorUpperToLower(g, d);
 }
 
-void GramNaive(const double* a, size_t n, size_t d, double* g) {
+DMT_NO_ALLOC
+void GramNaive(const double* DMT_NOALIAS a, size_t n, size_t d,
+               double* DMT_NOALIAS g) {
   std::fill(g, g + d * d, 0.0);
   for (size_t i = 0; i < n; ++i) {
     const double* r = a + i * d;
@@ -114,7 +122,9 @@ void GramNaive(const double* a, size_t n, size_t d, double* g) {
   MirrorUpperToLower(g, d);
 }
 
-void Rank1Update(double alpha, const double* v, double* g, size_t d) {
+DMT_NO_ALLOC
+void Rank1Update(double alpha, const double* DMT_NOALIAS v,
+                 double* DMT_NOALIAS g, size_t d) {
   for (size_t i = 0; i < d; ++i) {
     const double avi = alpha * v[i];
     if (avi == 0.0) continue;
@@ -123,13 +133,16 @@ void Rank1Update(double alpha, const double* v, double* g, size_t d) {
   }
 }
 
-void BatchedRank1(const double* rows, const double* alphas, size_t count,
-                  size_t d, double* g) {
+DMT_NO_ALLOC
+void BatchedRank1(const double* DMT_NOALIAS rows, const double* alphas,
+                  size_t count, size_t d, double* DMT_NOALIAS g) {
   SyrkUpperAccumulate(rows, alphas, count, d, g);
   MirrorUpperToLower(g, d);
 }
 
-void Transpose(const double* a, size_t rows, size_t cols, double* out) {
+DMT_NO_ALLOC
+void Transpose(const double* DMT_NOALIAS a, size_t rows, size_t cols,
+               double* DMT_NOALIAS out) {
   for (size_t i0 = 0; i0 < rows; i0 += kTransposeTile) {
     const size_t iend = std::min(i0 + kTransposeTile, rows);
     for (size_t j0 = 0; j0 < cols; j0 += kTransposeTile) {

@@ -35,6 +35,8 @@
 
 #include <cstddef>
 
+#include "util/contracts.h"
+
 namespace dmt {
 namespace linalg {
 namespace kernels {
@@ -59,12 +61,12 @@ inline constexpr size_t kTransposeTile = 32;
 // ---------------------------------------------------------------------
 
 /// Cache-blocked GEMM (register tile kRowTile x kColTile, k panels).
-void Gemm(const double* a, const double* b, double* c, size_t m, size_t k,
-          size_t n);
+void Gemm(const double* DMT_NOALIAS a, const double* DMT_NOALIAS b,
+          double* DMT_NOALIAS c, size_t m, size_t k, size_t n);
 
 /// Reference i-k-j triple loop (the seed Matrix::Multiply).
-void GemmNaive(const double* a, const double* b, double* c, size_t m,
-               size_t k, size_t n);
+void GemmNaive(const double* DMT_NOALIAS a, const double* DMT_NOALIAS b,
+               double* DMT_NOALIAS c, size_t m, size_t k, size_t n);
 
 // ---------------------------------------------------------------------
 // Gram / SYRK: g = (or +=) a^T a with a (n x d), g (d x d).
@@ -73,14 +75,17 @@ void GemmNaive(const double* a, const double* b, double* c, size_t m,
 // ---------------------------------------------------------------------
 
 /// Blocked Gram, overwriting g.
-void Gram(const double* a, size_t n, size_t d, double* g);
+void Gram(const double* DMT_NOALIAS a, size_t n, size_t d,
+          double* DMT_NOALIAS g);
 
 /// Blocked Gram accumulation: g += a^T a. `g` must be symmetric on entry
 /// (the mirror step copies the updated upper triangle over the lower).
-void GramAccumulate(const double* a, size_t n, size_t d, double* g);
+void GramAccumulate(const double* DMT_NOALIAS a, size_t n, size_t d,
+                    double* DMT_NOALIAS g);
 
 /// Reference one-pass upper-triangle Gram (the seed Matrix::Gram).
-void GramNaive(const double* a, size_t n, size_t d, double* g);
+void GramNaive(const double* DMT_NOALIAS a, size_t n, size_t d,
+               double* DMT_NOALIAS g);
 
 // ---------------------------------------------------------------------
 // Rank-1 updates.
@@ -90,15 +95,16 @@ void GramNaive(const double* a, size_t n, size_t d, double* g);
 /// no mirror needed; v must not alias g). The workhorse of incremental
 /// Gram maintenance. alpha may be negative (e.g. sliding-window
 /// retractions); symmetry of g is preserved exactly.
-void Rank1Update(double alpha, const double* v, double* g, size_t d);
+void Rank1Update(double alpha, const double* DMT_NOALIAS v,
+                 double* DMT_NOALIAS g, size_t d);
 
 /// Batched symmetric rank-1 updates: g += sum_t alphas[t] * r_t r_t^T,
 /// where r_t is row t of `rows` (count x d). One blocked pass over the
 /// rows instead of `count` full d^2 sweeps. `g` must be symmetric on
 /// entry; alphas may be negative. Pass alphas == nullptr for all-ones
 /// (then this is exactly GramAccumulate).
-void BatchedRank1(const double* rows, const double* alphas, size_t count,
-                  size_t d, double* g);
+void BatchedRank1(const double* DMT_NOALIAS rows, const double* alphas,
+                  size_t count, size_t d, double* DMT_NOALIAS g);
 
 // ---------------------------------------------------------------------
 // Transpose and row reductions.
@@ -106,7 +112,8 @@ void BatchedRank1(const double* rows, const double* alphas, size_t count,
 
 /// out = a^T with a (rows x cols), out (cols x rows), tile-blocked so both
 /// sides stream cache lines. `out` must not alias `a`.
-void Transpose(const double* a, size_t rows, size_t cols, double* out);
+void Transpose(const double* DMT_NOALIAS a, size_t rows, size_t cols,
+               double* DMT_NOALIAS out);
 
 /// sum_i (row_i . x)^2 over the n rows of a (n x d), x length d — i.e.
 /// ‖A·x‖², the directional mass every FD error bound is stated in. One

@@ -9,6 +9,7 @@
 #include "linalg/jacobi_eigen.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace linalg {
@@ -46,6 +47,7 @@ double Reorthogonalize(double* x, const Matrix& q, size_t j, size_t d) {
 
 }  // namespace
 
+DMT_ALLOC_OK("one-time workspace setup; reallocates only on (d, m) shape change")
 void LanczosSolver::EnsureWorkspace(size_t d, size_t m) {
   if (q_.rows() != m || q_.cols() != d) {
     q_ = Matrix(m, d);
@@ -58,6 +60,32 @@ void LanczosSolver::EnsureWorkspace(size_t d, size_t m) {
   if (order_.size() < m) order_.resize(m);
 }
 
+DMT_ALLOC_OK("shape change only: the basis size moves on the first cycle and a final truncated cycle")
+void LanczosSolver::EnsureRitzWorkspace(size_t j) {
+  if (t_.rows() != j) {
+    t_ = Matrix(j, j);
+    y_ = Matrix(j, j);
+  }
+}
+
+DMT_ALLOC_OK("grow-once n-length scratch; steady-state solves of a fixed shape do not reallocate")
+void LanczosSolver::EnsureRowScratch(size_t n) {
+  if (rowmv_.size() < n) rowmv_.resize(n);
+}
+
+DMT_ALLOC_OK("caller-visible output sizing; no-op when outputs already have the solve's shape")
+void LanczosSolver::SizeOutputs(size_t need, size_t d,
+                                std::vector<double>* eigenvalues,
+                                Matrix* eigenvectors) {
+  eigenvalues->assign(need, 0.0);
+  if (eigenvectors->rows() != need || eigenvectors->cols() != d) {
+    *eigenvectors = Matrix(need, d);
+  } else {
+    eigenvectors->SetZero();
+  }
+}
+
+DMT_NO_ALLOC
 LanczosInfo LanczosSolver::TopK(size_t d, size_t k,
                                 const SymmetricMatvec& matvec,
                                 std::vector<double>* eigenvalues,
@@ -66,7 +94,7 @@ LanczosInfo LanczosSolver::TopK(size_t d, size_t k,
   LanczosInfo info;
   eigenvalues->clear();
   if (d == 0 || k == 0) {
-    *eigenvectors = Matrix(0, d);
+    SizeOutputs(0, d, eigenvalues, eigenvectors);
     info.converged = true;
     return info;
   }
@@ -89,6 +117,9 @@ LanczosInfo LanczosSolver::TopK(size_t d, size_t k,
   } else {
     Scale(1.0 / nrm, q0, d);
   }
+  // dmt-lint: allow(noalloc-violation): indirect call — every operator
+  // passed in-tree is an allocation-free row-dot loop (see TopKOfGram /
+  // TopKOfRows); out-of-tree operators must honor the same contract.
   matvec(q_.Row(0), sq_.Row(0));
   ++info.matvecs;
 
@@ -124,6 +155,8 @@ LanczosInfo LanczosSolver::TopK(size_t d, size_t k,
       }
       Scale(1.0 / nrm, cand_.data(), d);
       std::memcpy(q_.Row(j), cand_.data(), d * sizeof(double));
+      // dmt-lint: allow(noalloc-violation): indirect call, same operator
+      // contract as the seeding matvec above.
       matvec(q_.Row(j), sq_.Row(j));
       ++info.matvecs;
       ++j;
@@ -131,10 +164,7 @@ LanczosInfo LanczosSolver::TopK(size_t d, size_t k,
 
     // ---- Rayleigh-Ritz on the j-row basis: T = Q S Q^T (j x j, upper
     // triangle computed, mirrored for exact symmetry).
-    if (t_.rows() != j) {
-      t_ = Matrix(j, j);
-      y_ = Matrix(j, j);
-    }
+    EnsureRitzWorkspace(j);
     for (size_t a = 0; a < j; ++a) {
       for (size_t b = a; b < j; ++b) {
         const double v = Dot(q_.Row(a), sq_.Row(b), d);
@@ -193,12 +223,7 @@ LanczosInfo LanczosSolver::TopK(size_t d, size_t k,
       // `avail < need` only happens when expansion exhausted every
       // direction with j < k, i.e. the basis already spans the reachable
       // space; Rayleigh-Ritz is then exact on it. Pad with zeros.
-      eigenvalues->assign(need, 0.0);
-      if (eigenvectors->rows() != need || eigenvectors->cols() != d) {
-        *eigenvectors = Matrix(need, d);
-      } else {
-        eigenvectors->SetZero();
-      }
+      SizeOutputs(need, d, eigenvalues, eigenvectors);
       for (size_t i = 0; i < avail; ++i) {
         (*eigenvalues)[i] = theta_[order_[i]];
         std::memcpy(eigenvectors->Row(i), u_.Row(i), d * sizeof(double));
@@ -233,6 +258,7 @@ LanczosInfo LanczosSolver::TopK(size_t d, size_t k,
   }
 }
 
+DMT_NO_ALLOC
 LanczosInfo LanczosSolver::TopKOfGram(const Matrix& gram, size_t k,
                                       std::vector<double>* eigenvalues,
                                       Matrix* eigenvectors,
@@ -255,13 +281,14 @@ LanczosInfo LanczosTopKOfGram(const Matrix& gram, size_t k,
   return solver.TopKOfGram(gram, k, eigenvalues, eigenvectors, opts);
 }
 
+DMT_NO_ALLOC
 LanczosInfo LanczosSolver::TopKOfRows(const Matrix& rows, size_t k,
                                       std::vector<double>* eigenvalues,
                                       Matrix* eigenvectors,
                                       const LanczosOptions& opts) {
   const size_t n = rows.rows();
   const size_t d = rows.cols();
-  if (rowmv_.size() < n) rowmv_.resize(n);
+  EnsureRowScratch(n);
   return TopK(
       d, k,
       [this, &rows, n, d](const double* x, double* y) {

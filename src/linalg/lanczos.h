@@ -38,17 +38,42 @@
 #define DMT_LINALG_LANCZOS_H_
 
 #include <cstddef>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace linalg {
 
 /// y = S x for an implicit symmetric operator S (x, y both length d;
 /// y never aliases x).
-using SymmetricMatvec = std::function<void(const double* x, double* y)>;
+///
+/// Non-owning callable reference (a "function_ref"): the solver only
+/// invokes the operator during TopK, so it borrows the callable instead
+/// of owning it. This replaces std::function in the hot path —
+/// libstdc++'s std::function heap-allocates any capture larger than 16
+/// bytes on construction, which made every TopKOfRows solve allocate.
+class SymmetricMatvec {
+ public:
+  template <typename F,
+            typename = typename std::enable_if<!std::is_same<
+                typename std::decay<F>::type, SymmetricMatvec>::value>::type>
+  SymmetricMatvec(const F& f)  // NOLINT(google-explicit-constructor)
+      : obj_(&f), call_(&Trampoline<F>) {}
+
+  void operator()(const double* x, double* y) const { call_(obj_, x, y); }
+
+ private:
+  template <typename F>
+  static void Trampoline(const void* obj, const double* x, double* y) {
+    (*static_cast<const F*>(obj))(x, y);
+  }
+
+  const void* obj_;
+  void (*call_)(const void* obj, const double* x, double* y);
+};
 
 struct LanczosOptions {
   /// Residual stopping: pair i is converged when
@@ -108,7 +133,14 @@ class LanczosSolver {
                          const LanczosOptions& opts = LanczosOptions());
 
  private:
+  // Allocation is confined to these DMT_ALLOC_OK setup helpers (see the
+  // definitions); the solve loops themselves are DMT_NO_ALLOC.
   void EnsureWorkspace(size_t d, size_t m);
+  void EnsureRitzWorkspace(size_t j);
+  void EnsureRowScratch(size_t n);
+  static void SizeOutputs(size_t need, size_t d,
+                          std::vector<double>* eigenvalues,
+                          Matrix* eigenvectors);
 
   Matrix q_;    // basis rows (m x d), orthonormal
   Matrix sq_;   // S * basis rows (m x d)

@@ -6,6 +6,7 @@
 #include "linalg/kernels.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace linalg {
@@ -77,6 +78,7 @@ void Matrix::AppendRows(const double* rows, size_t n, size_t cols) {
 
 void Matrix::ReserveRows(size_t rows) { data_.reserve(rows * cols_); }
 
+DMT_ALLOC_OK("reallocates only when growing past the reserved capacity; annotated shrink paths always resize within it")
 void Matrix::ResizeRows(size_t rows) {
   data_.resize(rows * cols_, 0.0);
   rows_ = rows;

@@ -3,7 +3,6 @@
 #define DMT_LINALG_SPECTRAL_H_
 
 #include <cstddef>
-
 #include <vector>
 
 #include "linalg/matrix.h"

@@ -9,7 +9,6 @@
 #define DMT_LINALG_SVD_H_
 
 #include <cstddef>
-
 #include <vector>
 
 #include "linalg/jacobi_eigen.h"

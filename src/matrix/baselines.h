@@ -4,7 +4,8 @@
 #define DMT_MATRIX_BASELINES_H_
 
 #include <cstddef>
-
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "matrix/error.h"

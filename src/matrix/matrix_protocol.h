@@ -4,7 +4,7 @@
 #define DMT_MATRIX_MATRIX_PROTOCOL_H_
 
 #include <cstddef>
-
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -14,7 +14,8 @@
 #define DMT_MATRIX_MP1_BATCHED_FD_H_
 
 #include <cstddef>
-
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "matrix/matrix_protocol.h"

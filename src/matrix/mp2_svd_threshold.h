@@ -39,7 +39,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "linalg/lanczos.h"

@@ -19,8 +19,8 @@
 #define DMT_MATRIX_MP3_SAMPLING_H_
 
 #include <cstddef>
-
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 

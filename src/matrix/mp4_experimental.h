@@ -22,8 +22,8 @@
 #define DMT_MATRIX_MP4_EXPERIMENTAL_H_
 
 #include <cstddef>
-
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hh/total_weight.h"

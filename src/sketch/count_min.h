@@ -7,7 +7,6 @@
 #define DMT_SKETCH_COUNT_MIN_H_
 
 #include <cstddef>
-
 #include <cstdint>
 #include <vector>
 

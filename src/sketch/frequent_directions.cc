@@ -9,6 +9,7 @@
 #include "linalg/kernels.h"
 #include "linalg/vec_ops.h"
 #include "util/check.h"
+#include "util/contracts.h"
 #include "util/env.h"
 
 namespace dmt {
@@ -102,6 +103,7 @@ void FrequentDirections::Compress() {
   if (buffer_.rows() > ell_) Shrink();
 }
 
+DMT_ALLOC_OK("one-time Jacobi-path workspace setup, gated on jacobi_ready_")
 void FrequentDirections::EnsureJacobiWorkspace() {
   if (jacobi_ready_) return;
   DMT_CHECK_GT(dim_, 0u);
@@ -115,10 +117,27 @@ void FrequentDirections::EnsureJacobiWorkspace() {
   jacobi_ready_ = true;
 }
 
+DMT_ALLOC_OK("one-time shrink workspace setup; no-op once buffer and seed have the sketch's shape")
+void FrequentDirections::EnsureShrinkWorkspace() {
+  buffer_.ReserveRows(BufferCapacityRows());
+  if (warm_seed_.size() != dim_) {
+    warm_seed_.assign(dim_, 0.0);
+    warm_seed_valid_ = false;
+  }
+}
+
+DMT_ALLOC_OK("lazy d x d Gram workspace; only tall (n >= d) Lanczos shrinks pay for it, once")
+void FrequentDirections::EnsureLanczosGram() {
+  if (lanczos_gram_.rows() != dim_) {
+    lanczos_gram_ = linalg::Matrix(dim_, dim_);
+  }
+}
+
+DMT_NO_ALLOC
 void FrequentDirections::Shrink() {
   ++shrink_count_;
   DMT_CHECK_GT(dim_, 0u);
-  buffer_.ReserveRows(BufferCapacityRows());
+  EnsureShrinkWorkspace();
   if (backend_ == FdShrinkBackend::kJacobi) {
     ShrinkJacobi();
     return;
@@ -132,6 +151,7 @@ void FrequentDirections::Shrink() {
   }
 }
 
+DMT_NO_ALLOC
 bool FrequentDirections::ShrinkLanczos() {
   const size_t d = dim_;
   const size_t n = buffer_.rows();
@@ -139,7 +159,7 @@ bool FrequentDirections::ShrinkLanczos() {
 
   linalg::LanczosOptions opts;
   opts.tol = 1e-11;
-  if (warm_seed_.size() == d) opts.seed = warm_seed_.data();
+  if (warm_seed_valid_) opts.seed = warm_seed_.data();
 
   linalg::LanczosInfo info;
   if (n < d) {
@@ -151,7 +171,7 @@ bool FrequentDirections::ShrinkLanczos() {
                                    &eigenvectors_, opts);
   } else {
     // Tall buffer: one blocked Gram build, then d^2 matvecs on it.
-    if (lanczos_gram_.rows() != d) lanczos_gram_ = linalg::Matrix(d, d);
+    EnsureLanczosGram();
     linalg::kernels::Gram(buffer_.Row(0), n, d, lanczos_gram_.Row(0));
     info = eigensolver_.TopKOfGram(lanczos_gram_, k, &eigenvalues_,
                                    &eigenvectors_, opts);
@@ -168,8 +188,11 @@ bool FrequentDirections::ShrinkLanczos() {
     kept = i + 1;
   }
 
-  // Warm seed for the next shrink, captured before the rebuild below.
-  warm_seed_.assign(eigenvectors_.Row(0), eigenvectors_.Row(0) + d);
+  // Warm seed for the next shrink, captured before the rebuild below
+  // (storage pre-sized by EnsureShrinkWorkspace, so this never allocates).
+  std::copy(eigenvectors_.Row(0), eigenvectors_.Row(0) + d,
+            warm_seed_.begin());
+  warm_seed_valid_ = true;
 
   for (size_t i = 0; i < kept; ++i) {
     // Clamp before the sqrt: near-tied lambda_ell ~ lambda_{ell+1} can
@@ -185,6 +208,7 @@ bool FrequentDirections::ShrinkLanczos() {
   return true;
 }
 
+DMT_NO_ALLOC
 void FrequentDirections::ShrinkJacobi() {
   EnsureJacobiWorkspace();
   if (!jacobi_warm_valid_) {
@@ -268,9 +292,9 @@ void FrequentDirections::ShrinkJacobi() {
 
   // Keep the Lanczos warm seed fresh too, so switching backends
   // mid-stream still warm-starts (column 0 of the permuted basis is the
-  // leading eigenvector).
-  warm_seed_.resize(d);
+  // leading eigenvector; storage pre-sized by EnsureShrinkWorkspace).
   for (size_t r = 0; r < d; ++r) warm_seed_[r] = basis_(r, 0);
+  warm_seed_valid_ = true;
 }
 
 double FrequentDirections::SquaredNormAlong(

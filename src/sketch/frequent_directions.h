@@ -134,6 +134,16 @@ class FrequentDirections {
   /// Merge/AppendRows bulk paths never reallocate.
   size_t BufferCapacityRows() const { return 4 * ell_; }
 
+  /// One-time (per sketch) allocation of what every shrink needs:
+  /// full-capacity buffer reservation and warm-seed storage. Shrink calls
+  /// it first, so the shrink paths themselves are DMT_NO_ALLOC.
+  void EnsureShrinkWorkspace();
+
+  /// Lazily sizes the persistent d x d Gram workspace; only tall (n >= d)
+  /// Lanczos shrinks ever need it, so it is not part of
+  /// EnsureShrinkWorkspace.
+  void EnsureLanczosGram();
+
   /// One-time (per sketch) allocation of the Jacobi-path workspaces,
   /// deferred until the first Jacobi shrink so Lanczos-backed sketches
   /// never pay for the three d x d matrices.
@@ -162,6 +172,7 @@ class FrequentDirections {
   std::vector<double> eigenvalues_;   // top ell+1, descending
   linalg::Matrix eigenvectors_;       // (ell+1) x d eigenvector rows
   std::vector<double> warm_seed_;     // previous shrink's leading vector
+  bool warm_seed_valid_ = false;      // warm_seed_ holds a real eigenvector
   linalg::Matrix lanczos_gram_;       // d x d, only for tall (n >= d) shrinks
 
   // --- Jacobi backend state (see EnsureJacobiWorkspace) ---

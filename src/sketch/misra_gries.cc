@@ -34,12 +34,16 @@ void WeightedMisraGries::CompactIfNeeded() {
   if (counters_.size() <= 2 * k_) return;
   std::vector<double> values;
   values.reserve(counters_.size());
+  // dmt-lint: allow(determinism-unordered-iter): order-independent fold —
+  // nth_element's result does not depend on the order values were collected.
   for (const auto& [e, v] : counters_) values.push_back(v);
   // delta = (k+1)-th largest value.
   std::nth_element(values.begin(), values.begin() + k_, values.end(),
                    std::greater<double>());
   const double delta = values[k_];
   total_decrement_ += delta;
+  // dmt-lint: allow(determinism-unordered-iter): each counter is updated
+  // exactly once with the same delta; the result set is order-independent.
   for (auto it = counters_.begin(); it != counters_.end();) {
     it->second -= delta;
     if (it->second <= 0.0) {
@@ -60,6 +64,8 @@ void WeightedMisraGries::Merge(const WeightedMisraGries& other) {
   DMT_CHECK_EQ(k_, other.k_);
   total_weight_ += other.total_weight_;
   total_decrement_ += other.total_decrement_;
+  // dmt-lint: allow(determinism-unordered-iter): keyed accumulation — each
+  // key's final value is independent of the iteration order.
   for (const auto& [e, v] : other.counters_) {
     counters_[e] += v;
   }
@@ -69,6 +75,8 @@ void WeightedMisraGries::Merge(const WeightedMisraGries& other) {
   if (counters_.size() > k_) {
     std::vector<double> values;
     values.reserve(counters_.size());
+    // dmt-lint: allow(determinism-unordered-iter): order-independent fold
+    // feeding nth_element; see CompactIfNeeded.
     for (const auto& [e, v] : counters_) values.push_back(v);
     if (values.size() > k_) {
       std::nth_element(values.begin(), values.begin() + k_, values.end(),
@@ -76,6 +84,8 @@ void WeightedMisraGries::Merge(const WeightedMisraGries& other) {
       const double delta = values[k_];
       if (delta > 0.0) {
         total_decrement_ += delta;
+        // dmt-lint: allow(determinism-unordered-iter): uniform per-counter
+        // decrement; the surviving set is order-independent.
         for (auto it = counters_.begin(); it != counters_.end();) {
           it->second -= delta;
           if (it->second <= 0.0) {
@@ -90,10 +100,13 @@ void WeightedMisraGries::Merge(const WeightedMisraGries& other) {
 }
 
 std::vector<std::pair<uint64_t, double>> WeightedMisraGries::Items() const {
+  // dmt-lint: allow(determinism-unordered-iter): drained into a vector and
+  // totally ordered below (weight desc, element id asc as a tie-break).
   std::vector<std::pair<uint64_t, double>> out(counters_.begin(),
                                                counters_.end());
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second;
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
   });
   return out;
 }

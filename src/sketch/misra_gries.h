@@ -16,7 +16,6 @@
 #define DMT_SKETCH_MISRA_GRIES_H_
 
 #include <cstddef>
-
 #include <cstdint>
 #include <unordered_map>
 #include <utility>

@@ -13,7 +13,6 @@
 #define DMT_SKETCH_PRIORITY_SAMPLER_H_
 
 #include <cstddef>
-
 #include <cstdint>
 #include <vector>
 

@@ -11,7 +11,6 @@
 #define DMT_SKETCH_SPACE_SAVING_H_
 
 #include <cstddef>
-
 #include <cstdint>
 #include <map>
 #include <set>

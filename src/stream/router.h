@@ -9,6 +9,7 @@
 #define DMT_STREAM_ROUTER_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "util/rng.h"
 

@@ -76,6 +76,11 @@ size_t ResolveThreadCount(size_t requested) {
   if (requested > 0) return requested;
   const int64_t env = GetEnvInt("DMT_THREADS", 0);
   if (env > 0) return static_cast<size_t>(env);
+  // Thread count only sizes the worker pool; RunImpl's chunk schedule and
+  // coordinator drain order are fixed regardless of pool size, so protocol
+  // state and messages are identical for any count (covered by
+  // parallel_determinism_test).
+  // dmt-lint: allow(determinism-thread-fp): pool sizing only, see above.
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<size_t>(hc);
 }

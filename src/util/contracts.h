@@ -1,0 +1,51 @@
+// Machine-checked contract annotations.
+//
+// These macros mark the contracts that `tools/lint/dmt_lint` enforces at
+// lint time (see tools/lint/README.md and the "Machine-checked contracts"
+// section of docs/ARCHITECTURE.md). They are deliberately zero-cost: under
+// GCC they expand to nothing (dmt_lint discovers them lexically and maps
+// them onto the GENERIC AST), under Clang they additionally emit
+// [[clang::annotate]] attributes so future Clang-based tooling can see
+// them too.
+//
+// Placement rules (the lint tool relies on these):
+//  * DMT_NO_ALLOC / DMT_ALLOC_OK go on the function *definition*, on the
+//    line of (or up to two lines above) the function's signature. Putting
+//    them only on a header declaration documents intent but does not bind
+//    the checker; annotate the definition.
+//  * DMT_NOALIAS goes directly before the parameter name inside the
+//    definition's parameter list (it expands to `__restrict__`, so it also
+//    tells the optimizer).
+#ifndef DMT_UTIL_CONTRACTS_H_
+#define DMT_UTIL_CONTRACTS_H_
+
+// DMT_NO_ALLOC: this function (and everything reachable from it, minus
+// DMT_ALLOC_OK barriers) must not allocate: no operator new / malloc, no
+// growing std::vector / std::string, no Matrix reallocation. Enforced by
+// dmt_lint's `noalloc-violation` check via a transitive call-graph walk.
+//
+// DMT_ALLOC_OK("reason"): explicitly allowlisted cold/setup path. The
+// call-graph walk stops here instead of descending; the reason string is
+// mandatory and should say why allocation is acceptable (one-time setup,
+// shape change, error path). dmt_lint rejects an empty reason.
+#if defined(__clang__)
+#define DMT_NO_ALLOC [[clang::annotate("dmt::no_alloc")]]
+#define DMT_ALLOC_OK(reason) [[clang::annotate("dmt::alloc_ok:" reason)]]
+#else
+#define DMT_NO_ALLOC
+#define DMT_ALLOC_OK(reason)
+#endif
+
+// DMT_NOALIAS: parameter annotation for kernel buffers with a documented
+// no-alias contract ("`c` must not alias `a` or `b`"). Expands to
+// `__restrict__`, so the compiler may assume — and dmt_lint's
+// `noalias-duplicate-arg` check verifies at every call site — that two
+// DMT_NOALIAS parameters of the same call never receive provably
+// identical buffers where at least one side is written.
+#if defined(_MSC_VER)
+#define DMT_NOALIAS __restrict
+#else
+#define DMT_NOALIAS __restrict__
+#endif
+
+#endif  // DMT_UTIL_CONTRACTS_H_

@@ -38,9 +38,27 @@ while IFS= read -r test_src; do
   fi
 done < <(find "${repo_root}/tests" -maxdepth 1 -name '*_test.cc' | sort)
 
+# Every lint fixture under tools/lint/testdata must be covered by the
+# `lint_selftest` CTest target, i.e. appear in `dmt_lint --list-fixtures`
+# (which is exactly the set the selftest iterates). Guards against fixtures
+# being added but never exercised.
+if [[ -d "${repo_root}/tools/lint/testdata" ]] \
+    && command -v python3 >/dev/null 2>&1; then
+  fixture_list=$(python3 "${repo_root}/tools/lint/dmt_lint" --list-fixtures)
+  while IFS= read -r fixture; do
+    [[ -z "${fixture}" ]] && continue
+    if ! grep -Fxq "$(basename "${fixture}")" <<<"${fixture_list}"; then
+      echo "FAIL: lint fixture ${fixture} is not covered by" \
+           "'dmt_lint --selftest' (see tools/lint/dmtlint/cli.py)" >&2
+      status=1
+    fi
+  done < <(find "${repo_root}/tools/lint/testdata" -maxdepth 1 -name '*.cc' | sort)
+fi
+
 if [[ ${status} -eq 0 ]]; then
   count=$(grep -c . "${registered_list}" || true)
   echo "OK: all $(find "${repo_root}/tests" -maxdepth 1 -name '*_test.cc' | wc -l)" \
-       "test sources registered (${count} targets)"
+       "test sources registered (${count} targets);" \
+       "all lint fixtures covered by lint_selftest"
 fi
 exit ${status}

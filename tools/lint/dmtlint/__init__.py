@@ -1,0 +1,17 @@
+"""dmt_lint: repo-specific static analysis over GCC GENERIC tree dumps.
+
+Three check families enforce the repo's machine-checked contracts (see
+docs/ARCHITECTURE.md "Machine-checked contracts" and tools/lint/README.md):
+
+  * determinism-*      — protocol/sketch code must be replay-deterministic
+  * noalloc-*          — DMT_NO_ALLOC hot paths must not reach an allocation
+  * noalias-*          — DMT_NOALIAS kernel buffers must not be passed twice
+
+The AST backend is GCC's GENERIC dump (-fdump-tree-original-raw): the real
+front-end tree after template instantiation and overload resolution, before
+gimplification. No regexes over source text are used for the checks
+themselves; lexical scanning is used only to locate annotation macros and
+suppression comments (which the compiler erases or cannot see).
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,263 @@
+"""Lexical discovery of contract annotations and suppression comments.
+
+GCC erases the DMT_* macros (they expand to nothing outside Clang), so the
+AST cannot carry them; this module locates them in source text and the
+checks bind them to function_decl srcp locations. Suppressions live in
+comments, which no AST sees. This is the only place dmt_lint reads source
+text — the checks themselves operate on the GENERIC dump.
+
+Recognized forms:
+
+  DMT_NO_ALLOC            on (or up to BIND_WINDOW lines above) a function
+                          definition's signature start.
+  DMT_ALLOC_OK("reason")  same placement; the reason must be non-empty.
+  // dmt-lint: allow(<check-id>): <reason>
+                          suppresses findings of <check-id> attributed to
+                          the next BIND_WINDOW source lines (or, when placed
+                          on/above a function signature, to that whole
+                          function). The reason must be non-empty.
+  DMT_NOALIAS             between the '*' and the name of a pointer
+                          parameter. GCC's GENERIC dump erases the restrict
+                          qualifier, so no-alias contracts are discovered
+                          here too: each parameter list containing the token
+                          is parsed into a NoAliasDecl (function name, line,
+                          annotated positions, writability) that the alias
+                          check matches against resolved call sites.
+"""
+
+import re
+
+# How many lines below an annotation/suppression it still binds: the macro
+# or comment goes on the signature/statement line or up to two lines above
+# (multi-line signatures, long call statements).
+BIND_WINDOW = 3
+
+_NO_ALLOC_RE = re.compile(r"\bDMT_NO_ALLOC\b")
+_ALLOC_OK_RE = re.compile(r"\bDMT_ALLOC_OK\s*\(\s*(\"(?:[^\"\\]|\\.)*\")?", re.S)
+_ALLOW_RE = re.compile(r"//\s*dmt-lint:\s*allow\(([a-z0-9-]+)\)\s*:?\s*(.*)")
+_LINE_COMMENT_RE = re.compile(r"//.*")
+_NOALIAS_TOKEN_RE = re.compile(r"\bDMT_NOALIAS\b")
+_NAME_BEFORE_PAREN_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*$")
+
+_OPEN = {"(": ")", "[": "]", "{": "}", "<": ">"}
+_CLOSE = {v: k for k, v in _OPEN.items()}
+
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.S)
+
+
+def _blank_comments(text):
+    """Replace comment bodies with spaces, preserving every offset and
+    newline, so lexical scans never match tokens inside comments."""
+    def blank(m):
+        return "".join(c if c == "\n" else " " for c in m.group(0))
+    return _COMMENT_RE.sub(blank, text)
+
+
+def _split_params(text):
+    """Split a parameter-list body at top-level commas, tracking nesting."""
+    parts = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(text):
+        if c in _OPEN:
+            depth += 1
+        elif c in _CLOSE:
+            depth = max(0, depth - 1)
+        elif c == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+class NoAliasDecl:
+    """A function declaration whose parameter list carries DMT_NOALIAS."""
+
+    __slots__ = ("file", "line", "name", "params")
+
+    def __init__(self, file, line, name, params):
+        self.file = file
+        self.line = line      # line of the '(' opening the parameter list
+        self.name = name      # unqualified function name
+        self.params = params  # list of (position, writable)
+
+    def __repr__(self):
+        return "noalias %s@%s:%d %r" % (self.name, self.file, self.line,
+                                        self.params)
+
+
+class Annotation:
+    __slots__ = ("kind", "file", "line", "check_id", "reason", "bound")
+
+    def __init__(self, kind, file, line, check_id=None, reason=None):
+        self.kind = kind  # "no_alloc" | "alloc_ok" | "allow"
+        self.file = file
+        self.line = line
+        self.check_id = check_id
+        self.reason = reason
+        self.bound = False
+
+    def __repr__(self):
+        return "%s@%s:%d" % (self.kind, self.file, self.line)
+
+
+class FileAnnotations:
+    def __init__(self, path):
+        self.path = path
+        self.no_alloc = {}  # line -> Annotation
+        self.alloc_ok = {}  # line -> Annotation
+        self.allows = []    # list of Annotation (kind="allow")
+        self.noalias = {}   # (name, line) -> NoAliasDecl
+        self.errors = []    # (line, message) for malformed annotations
+        self._scan()
+
+    def _scan(self):
+        try:
+            with open(self.path, "r", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            return
+        lines = text.splitlines(keepends=True)
+        self._scan_noalias(_blank_comments(text))
+        for i, raw in enumerate(lines, 1):
+            cm = _LINE_COMMENT_RE.search(raw)
+            comment = cm.group(0) if cm else ""
+            code = raw[: cm.start()] if cm else raw
+
+            am = _ALLOW_RE.search(comment)
+            if am:
+                reason = am.group(2).strip()
+                if not reason:
+                    self.errors.append(
+                        (i, "dmt-lint allow(%s) needs a reason after the colon"
+                         % am.group(1)))
+                else:
+                    self.allows.append(
+                        Annotation("allow", self.path, i, am.group(1), reason))
+
+            okm = _ALLOC_OK_RE.search(code)
+            # Search for DMT_NO_ALLOC outside any DMT_ALLOC_OK("...") span,
+            # so a reason string mentioning the other macro cannot bind.
+            code_wo_ok = code if okm is None else (
+                code[: okm.start()] + code[okm.end():])
+            if _NO_ALLOC_RE.search(code_wo_ok):
+                self.no_alloc[i] = Annotation("no_alloc", self.path, i)
+            if okm:
+                lit = okm.group(1)
+                if not lit or lit == '""':
+                    self.errors.append(
+                        (i, "DMT_ALLOC_OK requires a non-empty reason string"))
+                else:
+                    self.alloc_ok[i] = Annotation(
+                        "alloc_ok", self.path, i, reason=lit.strip('"'))
+
+    def _scan_noalias(self, text):
+        """Parse every parameter list containing DMT_NOALIAS into a
+        NoAliasDecl. Purely lexical: the restrict qualifier the macro
+        expands to does not survive into GCC's GENERIC dump."""
+        for m in _NOALIAS_TOKEN_RE.finditer(text):
+            line_at = text.count("\n", 0, m.start()) + 1
+            # Walk back to the '(' opening the enclosing parameter list.
+            depth = 0
+            i = m.start() - 1
+            while i >= 0:
+                c = text[i]
+                if c == ")":
+                    depth += 1
+                elif c == "(":
+                    if depth == 0:
+                        break
+                    depth -= 1
+                i -= 1
+            if i < 0:
+                self.errors.append(
+                    (line_at, "DMT_NOALIAS outside a parameter list"))
+                continue
+            open_paren = i
+            nm = _NAME_BEFORE_PAREN_RE.search(text[:open_paren])
+            if nm is None:
+                self.errors.append(
+                    (line_at,
+                     "cannot find the function name before the DMT_NOALIAS "
+                     "parameter list"))
+                continue
+            name = nm.group(1)
+            depth = 0
+            j = open_paren
+            while j < len(text):
+                if text[j] == "(":
+                    depth += 1
+                elif text[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            if depth != 0:
+                self.errors.append(
+                    (line_at, "unbalanced DMT_NOALIAS parameter list"))
+                continue
+            params = []
+            for idx, ptext in enumerate(
+                    _split_params(text[open_paren + 1:j])):
+                if not _NOALIAS_TOKEN_RE.search(ptext):
+                    continue
+                head = ptext.split("*", 1)[0]
+                writable = not re.search(r"\bconst\b", head)
+                params.append((idx, writable))
+            line = text.count("\n", 0, open_paren) + 1
+            self.noalias[(name, line)] = NoAliasDecl(
+                self.path, line, name, params)
+
+    def noalias_for(self, name, line, window):
+        """The NoAliasDecl for a call to `name` whose resolved decl srcp is
+        `line` (parameter list opens within `window` lines below it)."""
+        best = None
+        for (nm, ln), decl in self.noalias.items():
+            if nm != name or not (line <= ln <= line + window):
+                continue
+            if best is None or abs(decl.line - line) < abs(best.line - line):
+                best = decl
+        return best
+
+    # ---- binding ------------------------------------------------------
+
+    def annotation_for_decl(self, line):
+        """The no_alloc/alloc_ok annotation binding a function whose
+        definition signature starts at `line` (macro on the line itself or
+        up to BIND_WINDOW-1 lines above), or None."""
+        for delta in range(0, BIND_WINDOW):
+            a = self.no_alloc.get(line - delta)
+            if a is not None:
+                a.bound = True
+                return a
+            a = self.alloc_ok.get(line - delta)
+            if a is not None:
+                a.bound = True
+                return a
+        return None
+
+    def allows_at(self, check_id, line):
+        """True if an allow(<check_id>) comment covers `line`. The window
+        starts one line above the comment: only expr_stmt nodes carry line
+        info in the dump, so a finding inside a multi-line statement can be
+        attributed to the preceding statement's line."""
+        for a in self.allows:
+            if a.check_id == check_id and a.line - 1 <= line < a.line + BIND_WINDOW + 1:
+                a.bound = True
+                return True
+        return False
+
+
+class AnnotationIndex:
+    def __init__(self):
+        self._files = {}
+
+    def for_file(self, path):
+        fa = self._files.get(path)
+        if fa is None:
+            fa = FileAnnotations(path)
+            self._files[path] = fa
+        return fa
+
+    def files(self):
+        return self._files.values()

@@ -1,0 +1,594 @@
+"""The three dmt_lint check families.
+
+Check IDs (stable; used in suppression comments and fixtures):
+
+  determinism-banned-call   — RNG / wall-clock / thread-id calls in
+                              protocol code (src/stream, src/hh,
+                              src/matrix, src/sketch, src/core)
+  determinism-unordered-iter— iterating an unordered container in
+                              protocol code (emission order would leak
+                              hash-table layout into protocol state)
+  determinism-thread-fp     — thread-count queries and floating-point
+                              accumulation whose order depends on a
+                              thread/worker-count loop
+  noalloc-violation         — an allocation (or unverifiable indirect
+                              call) reachable from a DMT_NO_ALLOC function
+  noalias-duplicate-arg     — the same buffer passed to two DMT_NOALIAS
+                              (__restrict__) parameters, at least one
+                              written through
+  annotation-error          — malformed or unbindable annotations
+
+Suppression: `// dmt-lint: allow(<check-id>): <reason>` on or up to
+BIND_WINDOW lines above the flagged line, or on the owning function's
+signature to cover the whole function.
+"""
+
+import os
+import re
+
+from . import gcc_ast
+from .annotations import BIND_WINDOW
+
+DETERMINISM_DIRS = ("src/stream", "src/hh", "src/matrix", "src/sketch", "src/core")
+
+_UNORDERED_CLASSES = frozenset(
+    ["unordered_map", "unordered_set", "unordered_multimap",
+     "unordered_multiset", "_Hashtable"]
+)
+# Reporting on begin/cbegin alone keeps one finding per loop (the paired
+# end/cend call would double-report the same iteration).
+_ITER_FNS = frozenset(["begin", "cbegin"])
+_CLOCK_CLASSES = frozenset(
+    ["system_clock", "steady_clock", "high_resolution_clock"]
+)
+_BANNED_GLOBAL = frozenset(
+    ["rand", "srand", "random", "drand48", "lrand48", "mrand48", "rand_r",
+     "time", "clock", "gettimeofday", "clock_gettime", "timespec_get",
+     "localtime", "gmtime", "getpid", "gettid"]
+)
+_C_ALLOC = frozenset(
+    ["malloc", "calloc", "realloc", "reallocarray", "aligned_alloc",
+     "valloc", "posix_memalign", "strdup", "strndup"]
+)
+# Out-of-line libstdc++ growth entry points (no body in any TU — the
+# implementation lives in the shared library), flagged by name as a
+# backstop; everything with an instantiated body is walked instead.
+_STRING_GROWTH = frozenset(
+    ["_M_create", "_M_mutate", "_M_replace", "_M_append", "append",
+     "push_back", "reserve", "resize", "insert", "assign"]
+)
+_THREADISH_RE = re.compile(r"thread|worker|concurr", re.I)
+
+_MAX_PATHS_PER_FN = 64
+_MAX_CHAIN_SHOWN = 6
+
+
+class Finding:
+    __slots__ = ("check_id", "file", "line", "function", "message")
+
+    def __init__(self, check_id, file, line, function, message):
+        self.check_id = check_id
+        self.file = file
+        self.line = line
+        self.function = function
+        self.message = message
+
+    def render(self):
+        return "%s:%d: [%s] %s: %s" % (
+            self.file, self.line or 0, self.check_id, self.function, self.message)
+
+
+class CallSite:
+    __slots__ = ("callee", "file", "line", "leaf")
+
+    def __init__(self, callee, file, line, leaf=None):
+        self.callee = callee  # qname or None
+        self.file = file
+        self.line = line
+        self.leaf = leaf      # description if this call IS an allocation
+
+
+class FunctionInfo:
+    __slots__ = ("qname", "file", "line", "calls", "indirect", "has_body",
+                 "annotation")
+
+    def __init__(self, qname):
+        self.qname = qname
+        self.file = None
+        self.line = None
+        self.calls = []
+        self.indirect = []  # (file, line)
+        self.has_body = False
+        self.annotation = None  # resolved "no_alloc" / "alloc_ok" / None
+
+
+class AllocPath:
+    __slots__ = ("steps", "leaf")
+
+    def __init__(self, steps, leaf):
+        self.steps = steps  # [(file, line, callee_desc), ...] root-first
+        self.leaf = leaf
+
+
+def _norm(path):
+    return path.replace("\\", "/")
+
+
+def _is_repo_file(path, repo_root):
+    if not path:
+        return False
+    p = _norm(os.path.normpath(path))
+    root = _norm(os.path.normpath(repo_root)) + "/"
+    return os.path.isabs(p) and p.startswith(root)
+
+
+def _in_determinism_scope(path):
+    p = _norm(path)
+    return any(("/" + d + "/") in p or p.startswith(d + "/") for d in DETERMINISM_DIRS)
+
+
+def build_file_index(repo_root, extra_files=()):
+    """srcp locations in GCC dumps carry basenames only; this index maps a
+    basename back to the repo file it names. Repo basenames are unique
+    (enforced here: a collision raises, since it would make attribution
+    ambiguous)."""
+    index = {}
+    roots = [os.path.join(repo_root, "src"),
+             os.path.join(repo_root, "tools", "lint", "testdata")]
+    files = list(extra_files)
+    for r in roots:
+        for dirpath, _dirs, names in os.walk(r):
+            for n in names:
+                if n.endswith((".h", ".cc")):
+                    files.append(os.path.join(dirpath, n))
+    for f in files:
+        base = os.path.basename(f)
+        prev = index.get(base)
+        full = os.path.normpath(os.path.abspath(f))
+        if prev is not None and prev != full:
+            raise RuntimeError(
+                "duplicate basename %r (%s vs %s): dump srcp attribution "
+                "needs unique basenames" % (base, prev, full))
+        index[base] = full
+    return index
+
+
+class Analyzer:
+    def __init__(self, repo_root, ann_index, file_index=None, scope_all=False):
+        self.repo_root = repo_root
+        self.ann = ann_index
+        self.file_index = file_index if file_index is not None else {}
+        self.scope_all = scope_all
+        self.functions = {}
+        self.findings = []
+        self._decl_lines = {}  # file -> {line -> qname}
+        self._alloc_memo = {}
+        self._seen_sections = set()
+
+    # ------------------------------------------------------------------
+    # Model building
+    # ------------------------------------------------------------------
+
+    def add_tu(self, tu):
+        for section in tu.sections:
+            self._add_section(section)
+
+    def _fn(self, qname):
+        fi = self.functions.get(qname)
+        if fi is None:
+            fi = FunctionInfo(qname)
+            self.functions[qname] = fi
+        return fi
+
+    def _add_section(self, section):
+        parent = section.lambda_parent_qname()
+        qname = (parent + "::<lambda>") if parent else section.qname()
+        fi = self._fn(qname)
+        fi.has_body = True
+        ofile, oline = section.owner_srcp()
+        if ofile is not None:
+            ofile = self._resolve_file(ofile, section.tu) or ofile
+        # Inline/template functions are dumped once per including TU; the
+        # dumps are identical, so process each definition exactly once.
+        skey = (qname, ofile, oline)
+        if skey in self._seen_sections:
+            return
+        self._seen_sections.add(skey)
+        if ofile is not None and fi.file is None:
+            fi.file = _norm(ofile)
+            fi.line = oline
+            if _is_repo_file(fi.file, self.repo_root):
+                self._decl_lines.setdefault(fi.file, {})[oline] = qname
+        if parent:
+            # A lambda defined inside a function is reachable from it: add
+            # a pseudo call edge so DMT_NO_ALLOC constraints propagate into
+            # the closure body.
+            pfi = self._fn(parent)
+            pfi.calls.append(CallSite(qname, fi.file or section.tu.source,
+                                      fi.line or 0))
+
+        visits, backedges = gcc_ast.walk_body(section)
+        in_scope = self._determinism_in_scope(fi)
+        attr_file = fi.file if (fi.file and _is_repo_file(fi.file, self.repo_root)) else None
+
+        for v in visits:
+            node = v.node
+            if node.kind not in ("call_expr", "aggr_init_expr"):
+                continue
+            callee = gcc_ast.resolve_callee(section, node)
+            if callee is None:
+                if attr_file:
+                    fi.indirect.append((attr_file, v.line))
+                continue
+            leaf = self._classify_alloc_leaf(section, callee)
+            cq = gcc_ast.fdecl_qname(section, callee)
+            fi.calls.append(CallSite(cq, attr_file or (fi.file or section.tu.source),
+                                     v.line, leaf))
+            if in_scope and attr_file:
+                self._determinism_call(section, callee, cq, attr_file, v.line, qname)
+            if attr_file:
+                self._noalias_call(section, node, callee, cq, attr_file, v.line, qname)
+
+        if in_scope and attr_file and backedges:
+            self._thread_fp_loops(section, visits, backedges, attr_file, qname)
+
+    def _resolve_file(self, srcp_file, tu):
+        """Map a dump srcp file (basename only) to the repo file it names,
+        or None for system/non-repo files."""
+        base = os.path.basename(srcp_file)
+        if base == os.path.basename(tu.source):
+            return os.path.normpath(os.path.abspath(tu.source))
+        return self.file_index.get(base)
+
+    def _determinism_in_scope(self, fi):
+        if fi.file is None or not _is_repo_file(fi.file, self.repo_root):
+            return False
+        if self.scope_all:
+            return True
+        return _in_determinism_scope(os.path.relpath(fi.file, self.repo_root))
+
+    # ------------------------------------------------------------------
+    # Allocation classification
+    # ------------------------------------------------------------------
+
+    def _classify_alloc_leaf(self, section, fdecl):
+        name = gcc_ast.identifier_of(section, fdecl.ref("name"))
+        if name is not None:
+            name = name.strip()
+        chain = gcc_ast.scope_chain(section, fdecl)
+        if fdecl.has_note("operator") and name is None:
+            sfile, _ = gcc_ast.srcp_of(fdecl)
+            if sfile and os.path.basename(sfile) == "new":
+                ftype = section.node(fdecl.ref("type"))
+                retn = section.node(ftype.ref("retn")) if ftype is not None else None
+                if retn is not None and retn.kind == "pointer_type":
+                    return "operator new (srcp <new>:%s)" % (gcc_ast.srcp_of(fdecl)[1],)
+            return None
+        if name in _C_ALLOC and (not chain or chain[-1] in ("std", "__gnu_cxx")):
+            return "%s()" % name
+        if name in _STRING_GROWTH and chain and chain[-1] == "basic_string":
+            if fdecl.get("body") == "undefined":
+                return "std::string growth (%s)" % name
+        return None
+
+    # ------------------------------------------------------------------
+    # Determinism checks (per call site)
+    # ------------------------------------------------------------------
+
+    def _determinism_call(self, section, fdecl, cq, file, line, owner_qname):
+        name = gcc_ast.identifier_of(section, fdecl.ref("name"))
+        if name is None:
+            return
+        name = name.strip()
+        chain = gcc_ast.scope_chain(section, fdecl)
+        cls = chain[-1] if chain else None
+
+        if name in _ITER_FNS and cls in _UNORDERED_CLASSES:
+            self._report("determinism-unordered-iter", file, line, owner_qname,
+                         "iterates an unordered container (%s::%s); hash-table "
+                         "order is not replay-stable — drain into a sorted "
+                         "container or iterate an ordered mirror before it can "
+                         "reach protocol state or messages" % (cls, name))
+            return
+
+        banned = None
+        if name in _BANNED_GLOBAL and (not chain or chain[-1] == "std"):
+            banned = name + "()"
+        elif name == "now" and cls in _CLOCK_CLASSES:
+            banned = "std::chrono::%s::now()" % cls
+        elif name == "get_id" and (cls == "thread" or (chain and chain[-1] == "this_thread")):
+            banned = "thread-id query (%s)" % cq
+        elif cls == "random_device":
+            banned = "std::random_device::%s" % name
+        if banned is not None:
+            self._report("determinism-banned-call", file, line, owner_qname,
+                         "calls %s — nondeterministic input in protocol code; "
+                         "replay must be a pure function of the stream"
+                         % banned)
+            return
+
+        if name == "hardware_concurrency" and cls == "thread":
+            self._report("determinism-thread-fp", file, line, owner_qname,
+                         "queries std::thread::hardware_concurrency(); results "
+                         "must be bit-identical for any thread count, so "
+                         "thread-count-dependent values must not feed "
+                         "computation or message contents")
+
+    # ------------------------------------------------------------------
+    # Thread-count-dependent FP reduction order
+    # ------------------------------------------------------------------
+
+    def _thread_fp_loops(self, section, visits, backedges, file, owner_qname):
+        index_of = {}
+        for v in visits:
+            index_of.setdefault(v.node.nid, v.index)
+        for start, end in backedges:
+            region = visits[start:end + 1]
+            if not self._region_is_thread_loop(section, region):
+                continue
+            for v in region:
+                n = v.node
+                if n.kind != "modify_expr":
+                    continue
+                t = section.node(n.ref("type"))
+                if t is None or t.kind != "real_type":
+                    continue
+                lhs_ref = n.ref("op 0")
+                rhs_ref = n.ref("op 1")
+                if lhs_ref is None or rhs_ref is None:
+                    continue
+                lhs_key = gcc_ast.structural_key(section, lhs_ref)
+                if not self._subtree_contains(section, rhs_ref, lhs_key):
+                    continue  # plain store, not an accumulation
+                base = self._base_decl(section, lhs_ref)
+                if base is not None and base.kind == "var_decl":
+                    first = index_of.get(base.nid)
+                    if first is not None and first >= start:
+                        continue  # accumulator lives inside the loop
+                self._report(
+                    "determinism-thread-fp", file, v.line, owner_qname,
+                    "floating-point accumulation inside a loop whose bounds "
+                    "reference a thread/worker count: the reduction order "
+                    "(and so the rounded result) would change with the "
+                    "thread count — accumulate in a fixed order independent "
+                    "of parallelism")
+
+    def _region_is_thread_loop(self, section, region):
+        for v in region:
+            if v.node.kind != "cond_expr":
+                continue
+            cref = v.node.ref("op 0")
+            if cref is None:
+                continue
+            for nm in self._decl_names_in(section, cref):
+                if _THREADISH_RE.search(nm):
+                    return True
+        return False
+
+    def _decl_names_in(self, section, ref, depth=0, seen=None):
+        if seen is None:
+            seen = set()
+        if depth > 10 or ref in seen:
+            return
+        seen.add(ref)
+        n = section.node(ref)
+        if n is None:
+            return
+        if n.kind in ("var_decl", "parm_decl", "field_decl"):
+            nm = gcc_ast.identifier_of(section, n.ref("name"))
+            if nm:
+                yield nm
+            return
+        for k, v in n.fields:
+            base = k.split(" ")[0]
+            if (k.isdigit() or base in ("op", "expr", "fn", "decl")) and v.startswith("@"):
+                yield from self._decl_names_in(section, int(v[1:]), depth + 1, seen)
+
+    def _subtree_contains(self, section, ref, key, depth=0, seen=None):
+        if seen is None:
+            seen = set()
+        if depth > 12 or ref in seen:
+            return False
+        seen.add(ref)
+        if gcc_ast.structural_key(section, ref) == key:
+            return True
+        n = section.node(gcc_ast.strip_wrappers(section, ref))
+        if n is None:
+            return False
+        for k, v in n.fields:
+            base = k.split(" ")[0]
+            if (k.isdigit() or base in ("op", "expr", "fn", "decl", "valu")) and v.startswith("@"):
+                if self._subtree_contains(section, int(v[1:]), key, depth + 1, seen):
+                    return True
+        return False
+
+    def _base_decl(self, section, ref, depth=0):
+        ref = gcc_ast.strip_wrappers(section, ref)
+        n = section.node(ref)
+        if n is None or depth > 10:
+            return None
+        if n.kind in ("var_decl", "parm_decl", "result_decl", "field_decl"):
+            return n
+        nref = n.ref("op 0")
+        if nref is None:
+            return None
+        return self._base_decl(section, nref, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Workspace-aliasing check
+    # ------------------------------------------------------------------
+
+    def _noalias_call(self, section, call_node, fdecl, cq, file, line, owner_qname):
+        # GCC's GENERIC dump erases the restrict qualifier, so the contract
+        # is bound lexically: the callee's resolved decl file is scanned for
+        # a DMT_NOALIAS parameter list matching its name and srcp line.
+        dfile, dline = gcc_ast.srcp_of(fdecl)
+        if dfile is None or dline is None:
+            return
+        dfile = self._resolve_file(dfile, section.tu)
+        if dfile is None or not _is_repo_file(dfile, self.repo_root):
+            return
+        name = gcc_ast.decl_name_component(section, fdecl)
+        if not name:
+            return
+        decl = self.ann.for_file(dfile).noalias_for(name, dline, BIND_WINDOW)
+        if decl is None or len(decl.params) < 2:
+            return
+        args = gcc_ast.call_args(call_node)
+        # Member functions receive `this` as argument 0; DMT_NOALIAS
+        # positions count declared parameters only.
+        ftype = section.node(fdecl.ref("type"))
+        shift = 1 if (ftype is not None and ftype.kind == "method_type") else 0
+        keys = {}
+        for pos, writable in decl.params:
+            if pos + shift < len(args):
+                keys[pos] = (gcc_ast.structural_key(section, args[pos + shift]),
+                             writable)
+        positions = sorted(keys)
+        for ai in range(len(positions)):
+            for bi in range(ai + 1, len(positions)):
+                pa, pb = positions[ai], positions[bi]
+                ka, wa = keys[pa]
+                kb, wb = keys[pb]
+                if ka == kb and (wa or wb):
+                    self._report(
+                        "noalias-duplicate-arg", file, line, owner_qname,
+                        "passes the same buffer to two DMT_NOALIAS "
+                        "(__restrict__) parameters of %s (positions %d and "
+                        "%d, at least one written): the kernel's no-alias "
+                        "contract makes this undefined behavior" % (cq, pa, pb))
+
+    # ------------------------------------------------------------------
+    # No-alloc call-graph walk
+    # ------------------------------------------------------------------
+
+    def resolve_annotations(self):
+        """Bind DMT_NO_ALLOC / DMT_ALLOC_OK macros to function definitions
+        (nearest definition at or within BIND_WINDOW lines below the macro)."""
+        for file, lines in self._decl_lines.items():
+            fa = self.ann.for_file(file)
+            anns = list(fa.no_alloc.values()) + list(fa.alloc_ok.values())
+            for a in anns:
+                target = None
+                for delta in range(0, BIND_WINDOW + 1):
+                    q = lines.get(a.line + delta)
+                    if q is not None:
+                        target = q
+                        break
+                if target is None:
+                    self._report(
+                        "annotation-error", file, a.line, "-",
+                        "%s does not bind to any function definition within "
+                        "%d lines — put it on the definition's signature"
+                        % ("DMT_NO_ALLOC" if a.kind == "no_alloc"
+                           else "DMT_ALLOC_OK", BIND_WINDOW))
+                    continue
+                a.bound = True
+                fi = self.functions.get(target)
+                if fi is not None and fi.annotation is None:
+                    fi.annotation = a.kind
+        for fa in self.ann.files():
+            for line, msg in fa.errors:
+                self._report("annotation-error", fa.path, line, "-", msg)
+
+    def check_noalloc(self):
+        roots = [fi for fi in self.functions.values()
+                 if fi.annotation == "no_alloc"]
+        for fi in sorted(roots, key=lambda f: (f.file or "", f.line or 0)):
+            # One finding per offending site (deepest repo-owned frame:
+            # that is where a fix or DMT_ALLOC_OK belongs), shortest path
+            # shown when several reach the same site.
+            best = {}
+            for path in self._alloc_paths(fi.qname, frozenset()):
+                file, line, desc = path.steps[0]
+                for sf, sl, _sd in reversed(path.steps):
+                    if _is_repo_file(sf, self.repo_root):
+                        file, line = sf, sl
+                        break
+                key = (file, line)
+                if key not in best or len(path.steps) < len(best[key].steps):
+                    best[key] = path
+            for (file, line), path in sorted(best.items(),
+                                             key=lambda kv: kv[0]):
+                chain = " -> ".join(d for _, _, d in path.steps[:_MAX_CHAIN_SHOWN])
+                if len(path.steps) > _MAX_CHAIN_SHOWN:
+                    chain += " -> ..."
+                self._report(
+                    "noalloc-violation", file, line, fi.qname,
+                    "DMT_NO_ALLOC function reaches %s via %s — hoist the "
+                    "allocation into a DMT_ALLOC_OK setup path or remove it"
+                    % (path.leaf, chain))
+
+    def _alloc_paths(self, qname, stack):
+        if qname in self._alloc_memo:
+            return self._alloc_memo[qname]
+        if qname in stack:
+            return []
+        fi = self.functions.get(qname)
+        if fi is None:
+            return []
+        stack = stack | {qname}
+        out = []
+        for cs in fi.calls:
+            if len(out) >= _MAX_PATHS_PER_FN:
+                break
+            if cs.leaf is not None:
+                out.append(AllocPath([(cs.file, cs.line, cs.callee or cs.leaf)],
+                                     cs.leaf))
+                continue
+            if cs.callee is None:
+                continue
+            sub = self.functions.get(cs.callee)
+            if sub is None or not sub.has_body:
+                continue  # external, body unknown: leaves are the backstop
+            if sub.annotation == "alloc_ok":
+                continue  # explicitly allowlisted setup path
+            for p in self._alloc_paths(cs.callee, stack):
+                if len(out) >= _MAX_PATHS_PER_FN:
+                    break
+                out.append(AllocPath([(cs.file, cs.line, cs.callee)] + p.steps,
+                                     p.leaf))
+        for file, line in fi.indirect:
+            if len(out) >= _MAX_PATHS_PER_FN:
+                break
+            out.append(AllocPath(
+                [(file, line, "<indirect call>")],
+                "an indirect call (callee not statically resolvable)"))
+        self._alloc_memo[qname] = out
+        return out
+
+    # ------------------------------------------------------------------
+    # Reporting / suppression
+    # ------------------------------------------------------------------
+
+    def _report(self, check_id, file, line, function, message):
+        if not line:
+            # Only expr_stmt nodes carry line info; a finding inside a
+            # body with no preceding statement (e.g. a lone return) falls
+            # back to the owning function's signature line.
+            fi = self.functions.get(function)
+            if fi is not None and fi.file == file and fi.line:
+                line = fi.line
+        if file and _is_repo_file(file, self.repo_root):
+            fa = self.ann.for_file(file)
+            if line and fa.allows_at(check_id, line):
+                return
+            # Function-level suppression: an allow on the signature of the
+            # owning function covers the whole body.
+            fi = self.functions.get(function)
+            if (fi is not None and fi.file == file
+                    and fi.line and fa.allows_at(check_id, fi.line)):
+                return
+        self.findings.append(Finding(check_id, file or "?", line or 0,
+                                     function, message))
+
+    def finish(self):
+        self.resolve_annotations()
+        self.check_noalloc()
+        uniq = {}
+        for f in self.findings:
+            uniq.setdefault((f.file, f.line, f.check_id, f.function,
+                             f.message), f)
+        self.findings = sorted(
+            uniq.values(), key=lambda f: (f.file, f.line, f.check_id))
+        return self.findings

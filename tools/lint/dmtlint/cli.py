@@ -1,0 +1,243 @@
+"""dmt_lint command line driver.
+
+Modes:
+  dmt_lint [paths...]    lint repo sources (default: every .cc under src/),
+                         using build/compile_commands.json flags when
+                         present, else -std=c++17 -I src.
+  dmt_lint --selftest    compile and check every fixture under
+                         tools/lint/testdata/ against its EXPECT comments.
+  dmt_lint --list-fixtures
+                         print the fixture files the selftest covers (used
+                         by tools/check_test_registration.sh).
+
+Exit codes: 0 clean, 1 findings / selftest mismatch, 2 usage or
+environment error (e.g. the compiler front end failed).
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+from . import gcc_ast
+from .annotations import AnnotationIndex
+from .checks import Analyzer, build_file_index
+
+_EXPECT_RE = re.compile(r"//\s*EXPECT-FINDING:\s*([a-z0-9-]+)(?:\s+fn=(\S+))?")
+_EXPECT_CLEAN_RE = re.compile(r"//\s*EXPECT-CLEAN\b")
+
+
+def repo_root_from_tool():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(os.path.join(here, "..", "..", ".."))
+
+
+def testdata_dir():
+    return os.path.join(repo_root_from_tool(), "tools", "lint", "testdata")
+
+
+def find_compile_commands(root):
+    for cand in ("build", "build-debug", "build-release", "out", "."):
+        p = os.path.join(root, cand, "compile_commands.json")
+        if os.path.exists(p):
+            return p
+    return None
+
+
+def load_compile_commands(path):
+    table = {}
+    with open(path) as f:
+        for entry in json.load(f):
+            args = entry.get("arguments")
+            if args is None:
+                args = shlex.split(entry.get("command", ""))
+            src = entry.get("file", "")
+            if not os.path.isabs(src):
+                src = os.path.normpath(os.path.join(entry.get("directory", "."), src))
+            table[os.path.normpath(src)] = (args, entry.get("directory"))
+    return table
+
+
+def default_args(root, cxx):
+    return [cxx, "-std=c++17", "-I", os.path.join(root, "src")]
+
+
+def lint_sources(sources, root, cxx, scope_all=False, verbose=False):
+    cc_path = find_compile_commands(root)
+    cc_table = load_compile_commands(cc_path) if cc_path else {}
+    ann = AnnotationIndex()
+    index = build_file_index(root, extra_files=[os.path.abspath(s)
+                                               for s in sources])
+    analyzer = Analyzer(root, ann, file_index=index, scope_all=scope_all)
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="dmtlint.") as workdir:
+        for src in sources:
+            src = os.path.abspath(src)
+            args, cwd = cc_table.get(os.path.normpath(src), (None, None))
+            if args is None:
+                args = default_args(root, cxx)
+                cwd = root
+            if verbose:
+                print("  [dmt_lint] parsing %s" % os.path.relpath(src, root),
+                      file=sys.stderr)
+            try:
+                tu = gcc_ast.parse_tu(src, args, workdir=workdir, cwd=cwd)
+            except gcc_ast.DumpError as e:
+                failures.append(str(e))
+                continue
+            analyzer.add_tu(tu)
+    findings = analyzer.finish()
+    return findings, failures, analyzer
+
+
+def run_lint(opts):
+    root = os.path.abspath(opts.root)
+    if opts.paths:
+        sources = []
+        for p in opts.paths:
+            if os.path.isdir(p):
+                sources += sorted(glob.glob(os.path.join(p, "**", "*.cc"),
+                                            recursive=True))
+            else:
+                sources.append(p)
+    else:
+        sources = sorted(glob.glob(os.path.join(root, "src", "**", "*.cc"),
+                                   recursive=True))
+    if not sources:
+        print("dmt_lint: no sources to lint", file=sys.stderr)
+        return 2
+    findings, failures, _ = lint_sources(
+        sources, root, opts.cxx, scope_all=opts.scope_all, verbose=opts.verbose)
+    for msg in failures:
+        print("dmt_lint: ERROR: %s" % msg, file=sys.stderr)
+    for f in findings:
+        try:
+            shown = os.path.relpath(f.file, root)
+        except ValueError:
+            shown = f.file
+        print("%s:%d: [%s] %s: %s" % (shown, f.line, f.check_id, f.function,
+                                      f.message))
+    n = len(findings)
+    print("dmt_lint: %d finding%s over %d source file%s"
+          % (n, "" if n == 1 else "s", len(sources),
+             "" if len(sources) == 1 else "s"), file=sys.stderr)
+    if failures:
+        return 2
+    return 1 if findings else 0
+
+
+# ---------------------------------------------------------------------------
+# Selftest over tools/lint/testdata fixtures
+# ---------------------------------------------------------------------------
+
+def fixture_files():
+    return sorted(glob.glob(os.path.join(testdata_dir(), "*.cc")))
+
+
+def parse_expectations(path):
+    expects = []
+    clean = False
+    with open(path) as f:
+        for line in f:
+            m = _EXPECT_RE.search(line)
+            if m:
+                expects.append((m.group(1), m.group(2) or ""))
+            elif _EXPECT_CLEAN_RE.search(line):
+                clean = True
+    return expects, clean
+
+
+def compiler_is_gcc(cxx):
+    """True if `cxx` is real GCC (defines __GNUC__ without __clang__).
+    The AST backend reads -fdump-tree-original-raw output, which only GCC
+    produces."""
+    try:
+        out = subprocess.run(
+            [cxx, "-E", "-dM", "-x", "c++", os.devnull],
+            capture_output=True, text=True, timeout=60).stdout
+    except (OSError, subprocess.SubprocessError):
+        return False
+    return "__GNUC__" in out and "__clang__" not in out
+
+
+def run_selftest(opts):
+    root = repo_root_from_tool()
+    if not compiler_is_gcc(opts.cxx):
+        print("dmt_lint --selftest: SKIP: %s is not GCC (the AST backend "
+              "needs -fdump-tree-original-raw)" % opts.cxx, file=sys.stderr)
+        return 77
+    fixtures = fixture_files()
+    if not fixtures:
+        print("dmt_lint --selftest: no fixtures under %s" % testdata_dir(),
+              file=sys.stderr)
+        return 2
+    failed = 0
+    for fx in fixtures:
+        expects, clean = parse_expectations(fx)
+        if not expects and not clean:
+            print("FAIL %s: fixture declares no EXPECT-FINDING/EXPECT-CLEAN"
+                  % os.path.basename(fx))
+            failed += 1
+            continue
+        findings, failures, _ = lint_sources(
+            [fx], root, opts.cxx, scope_all=True, verbose=opts.verbose)
+        findings = [f for f in findings
+                    if os.path.normpath(f.file) == os.path.normpath(fx)]
+        problems = []
+        for msg in failures:
+            problems.append("front end error: %s" % msg)
+        if clean and findings:
+            for f in findings:
+                problems.append("unexpected finding: %s" % f.render())
+        for check_id, fn_substr in expects:
+            hit = any(f.check_id == check_id and fn_substr in f.function
+                      for f in findings)
+            if not hit:
+                problems.append("missing expected finding: %s fn=%s"
+                                % (check_id, fn_substr or "<any>"))
+        expected_ids = {e[0] for e in expects}
+        for f in findings:
+            if not clean and f.check_id not in expected_ids:
+                problems.append("unexpected finding: %s" % f.render())
+        if problems:
+            failed += 1
+            print("FAIL %s" % os.path.basename(fx))
+            for p in problems:
+                print("     %s" % p)
+        else:
+            tag = "clean" if clean else "%d expected finding(s)" % len(expects)
+            print("PASS %s (%s)" % (os.path.basename(fx), tag))
+    print("dmt_lint --selftest: %d/%d fixtures pass"
+          % (len(fixtures) - failed, len(fixtures)))
+    return 1 if failed else 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="dmt_lint", description=__doc__)
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--root", default=repo_root_from_tool(),
+                    help="repository root (default: autodetected)")
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "g++"),
+                    help="compiler used to produce AST dumps (must be GCC)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the fixture-based self test")
+    ap.add_argument("--list-fixtures", action="store_true",
+                    help="print selftest fixture files, one per line")
+    ap.add_argument("--scope-all", action="store_true",
+                    help="apply determinism checks to every linted file, "
+                         "not just the protocol directories")
+    ap.add_argument("--verbose", action="store_true")
+    opts = ap.parse_args(argv)
+
+    if opts.list_fixtures:
+        for fx in fixture_files():
+            print(os.path.basename(fx))
+        return 0
+    if opts.selftest:
+        return run_selftest(opts)
+    return run_lint(opts)

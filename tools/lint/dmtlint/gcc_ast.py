@@ -1,0 +1,572 @@
+"""GENERIC-AST access: dump generation, parsing, and traversal.
+
+A raw tree dump is a sequence of per-function sections:
+
+    ;; Function void dmt::linalg::kernels::Gemm(...) (null)
+    ;; enabled by -tree-original
+
+    @1  bind_expr  type: @2  body: @3
+    @2  void_type  name: @4  algn: 8
+    ...
+
+Node numbering restarts per section. Fields are `key: value` pairs where a
+key may contain a space ("op 0") or be a bare index (statement_list), values
+are `@refs`, numbers, or words, and long nodes wrap onto indented
+continuation lines. String payloads print as `strg: <text> lngt: <n>`.
+
+Facts this module relies on (verified against GCC 12 dumps):
+  * the section header's pretty signature is the only reliable identity of
+    the section's own function; the matching function_decl node appears in
+    the section when any of its locals/parms/result are referenced, and its
+    srcp names the definition site;
+  * constructors/destructors are identifier `__ct`/`__ct_comp`/`__ct_base` /
+    `__dt*`; operator functions have an identifier_node with `note: operator`
+    and no strg;
+  * operator new / new[] are function_decls with `note: operator`, srcp in
+    the <new> header, and a pointer return type;
+  * `__restrict__` parameters show as `qual: r` on the pointer_type in the
+    function_type's prms list;
+  * loops are genericized to goto/label form: a goto_expr that targets an
+    already-visited label_decl is a loop backedge.
+"""
+
+import os
+import re
+import subprocess
+import tempfile
+
+_SECTION_RE = re.compile(r"^;; Function (.*) \((?:null|\*?0x[0-9a-f]+|[^)]*)\)\s*$", re.M)
+_NODE_START_RE = re.compile(r"^@(\d+)\s+(\S+)\s*(.*)$")
+# A field key: "name", "op 0", bare "0" (statement_list), padded with spaces
+# before the colon ("fn  : @20", "min : @23"). The lookahead requires a
+# value so "h:311" inside srcp paths does not match.
+_FIELD_RE = re.compile(r"(?:(?<=\s)|^)((?:[a-z_]+(?: \d+)?)|\d+)\s*: (?=\S)")
+_STRG_RE = re.compile(r"strg: (.*?)\s+lngt: (-?\d+)")
+
+# Field keys whose @refs are structural children for the body walk. Keys
+# like type/scpe/srcp lead into the type/scope graphs and are followed only
+# on demand by the name-resolution helpers.
+_WALK_KEYS = frozenset(
+    ["body", "expr", "init", "cond", "then", "else", "vars", "decl", "fn",
+     "valu", "chan", "labl", "stmt", "low", "high"]
+)
+# Node kinds the body walk never descends into.
+_WALK_STOP_KINDS = frozenset(
+    ["function_decl", "identifier_node", "namespace_decl", "type_decl",
+     "translation_unit_decl", "field_decl", "label_decl", "const_decl",
+     "template_decl", "using_decl"]
+)
+
+
+class Node:
+    __slots__ = ("nid", "kind", "fields")
+
+    def __init__(self, nid, kind, fields):
+        self.nid = nid
+        self.kind = kind
+        self.fields = fields  # list of (key, value) preserving order
+
+    def get(self, key):
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return None
+
+    def get_all(self, key):
+        return [v for k, v in self.fields if k == key]
+
+    def ref(self, key):
+        v = self.get(key)
+        if v is not None and v.startswith("@"):
+            return int(v[1:])
+        return None
+
+    def refs(self, key_prefix=None):
+        out = []
+        for k, v in self.fields:
+            if v.startswith("@") and (key_prefix is None or k.startswith(key_prefix)):
+                out.append((k, int(v[1:])))
+        return out
+
+    def has_note(self, word):
+        return any(k == "note" and v == word for k, v in self.fields)
+
+    def __repr__(self):
+        return "@%d %s" % (self.nid, self.kind)
+
+
+class Section:
+    """One function's dump: pretty signature + node graph."""
+
+    def __init__(self, pretty, nodes, tu):
+        self.pretty = pretty
+        self.nodes = nodes  # dict[int, Node]
+        self.tu = tu
+        self._owner = _MISSING
+
+    def node(self, ref):
+        return self.nodes.get(ref)
+
+    # ---- identity -----------------------------------------------------
+
+    def owner_decl(self):
+        """The function_decl node of this section's own function, if dumped."""
+        if self._owner is not _MISSING:
+            return self._owner
+        self._owner = self._find_owner()
+        return self._owner
+
+    def _find_owner(self):
+        want = qname_from_pretty(self.pretty, self.tu.anon_tag).rsplit("::", 1)[-1]
+        is_lambda = "::<lambda" in self.pretty
+        named, scoped = [], []
+        for n in self.nodes.values():
+            if n.kind != "function_decl":
+                continue
+            comp = decl_name_component(self, n)
+            if is_lambda:
+                if n.has_note("operator") and n.has_note("artificial"):
+                    named.append(n)
+                continue
+            if comp == want or (want.startswith("~") and comp == want):
+                named.append(n)
+        if not named:
+            return None
+        if len(named) > 1:
+            # Disambiguate: the owner is the scpe of this section's local
+            # var_decls / result_decl (callee locals are never dumped).
+            owners = set()
+            for n in self.nodes.values():
+                if n.kind in ("var_decl", "result_decl"):
+                    s = n.ref("scpe")
+                    if s is not None:
+                        owners.add(s)
+            scoped = [n for n in named if n.nid in owners]
+        pick = scoped or named
+        return min(pick, key=lambda n: n.nid)
+
+    def owner_srcp(self):
+        d = self.owner_decl()
+        return srcp_of(d) if d is not None else (None, None)
+
+    def qname(self):
+        return qname_from_pretty(self.pretty, self.tu.anon_tag)
+
+    def lambda_parent_qname(self):
+        """For a <lambda> section, the enclosing function's qname."""
+        i = self.pretty.find("::<lambda")
+        if i < 0:
+            return None
+        return qname_from_pretty(self.pretty[:i], self.tu.anon_tag)
+
+
+_MISSING = object()
+
+
+class TU:
+    """All sections of one translation unit's dump."""
+
+    def __init__(self, source, dump_text):
+        self.source = source
+        self.anon_tag = "(anon@%s)" % os.path.basename(source)
+        self.sections = []
+        parts = _SECTION_RE.split(dump_text)
+        # parts: [preamble, pretty1, body1, pretty2, body2, ...]
+        for i in range(1, len(parts) - 1, 2):
+            pretty = parts[i].strip()
+            nodes = _parse_nodes(parts[i + 1])
+            if nodes:
+                self.sections.append(Section(pretty, nodes, self))
+
+
+def _parse_nodes(body_text):
+    nodes = {}
+    cur = None
+    for raw in body_text.splitlines():
+        if not raw:
+            continue
+        m = _NODE_START_RE.match(raw)
+        if m:
+            if cur is not None:
+                _finish_node(nodes, cur)
+            cur = [int(m.group(1)), m.group(2), m.group(3)]
+        elif cur is not None and raw[0] in " \t":
+            cur[2] += " " + raw.strip()
+        else:
+            cur = None  # ";; enabled by" etc.
+    if cur is not None:
+        _finish_node(nodes, cur)
+    return nodes
+
+
+def _finish_node(nodes, cur):
+    nid, kind, text = cur
+    fields = []
+    sm = _STRG_RE.search(text)
+    if sm is not None:
+        # Cut the string payload out first so its content (which may
+        # contain "word: value" shapes) cannot confuse the field scanner.
+        fields.append(("strg", sm.group(1)))
+        fields.append(("lngt", sm.group(2)))
+        text = text[: sm.start()] + " " + text[sm.end():]
+    marks = list(_FIELD_RE.finditer(text))
+    for i, m in enumerate(marks):
+        end = marks[i + 1].start() if i + 1 < len(marks) else len(text)
+        fields.append((m.group(1), text[m.end():end].strip()))
+    nodes[nid] = Node(nid, kind, fields)
+
+
+# ---------------------------------------------------------------------------
+# Name resolution
+# ---------------------------------------------------------------------------
+
+def srcp_of(node):
+    """(file, line) of a decl, or (None, None)."""
+    if node is None:
+        return (None, None)
+    v = node.get("srcp")
+    if not v or ":" not in v:
+        return (None, None)
+    f, _, l = v.rpartition(":")
+    try:
+        return (f, int(l))
+    except ValueError:
+        return (None, None)
+
+
+def identifier_of(section, ref):
+    n = section.node(ref)
+    if n is None:
+        return None
+    if n.kind == "identifier_node":
+        return n.get("strg")
+    if n.kind == "type_decl":
+        return identifier_of(section, n.ref("name"))
+    return None
+
+
+def decl_name_component(section, decl):
+    """Last-component name for a decl; ctors/dtors map to Class / ~Class."""
+    name = identifier_of(section, decl.ref("name"))
+    if name is not None:
+        name = name.strip()
+    if name is not None and name.startswith("__ct"):
+        cls = _scope_class_name(section, decl)
+        return cls if cls else name
+    if name is not None and name.startswith("__dt"):
+        cls = _scope_class_name(section, decl)
+        return ("~" + cls) if cls else name
+    if name is None:
+        nref = decl.ref("name")
+        nnode = section.node(nref) if nref is not None else None
+        if nnode is not None and nnode.has_note("operator"):
+            return "<op>"
+        return "?"
+    return name
+
+
+def _scope_class_name(section, decl):
+    s = section.node(decl.ref("scpe")) if decl.ref("scpe") is not None else None
+    if s is not None and s.kind.endswith("_type"):
+        return identifier_of(section, s.ref("name"))
+    return None
+
+
+def scope_chain(section, decl, depth=0):
+    """Qualified-name components of a decl's enclosing scopes (outermost
+    first), template arguments stripped (the dump names instantiated
+    records by their template identifier)."""
+    if depth > 12:
+        return ["?"]
+    ref = decl.ref("scpe")
+    if ref is None:
+        return []
+    s = section.node(ref)
+    if s is None:
+        return []
+    if s.kind == "translation_unit_decl":
+        return []
+    if s.kind == "namespace_decl":
+        name = identifier_of(section, s.ref("name"))
+        parent = scope_chain(section, s, depth + 1)
+        if name is None or name == "::":
+            return parent if name == "::" else parent + [section.tu.anon_tag]
+        return parent + [name]
+    if s.kind.endswith("_type"):
+        name_ref = s.ref("name")
+        tdecl = section.node(name_ref) if name_ref is not None else None
+        comp = identifier_of(section, name_ref) or "?"
+        parent = scope_chain(section, tdecl, depth + 1) if tdecl is not None and tdecl.kind == "type_decl" else []
+        return parent + [comp]
+    if s.kind == "function_decl":
+        return scope_chain(section, s, depth + 1) + [decl_name_component(section, s)]
+    return []
+
+
+def fdecl_qname(section, fdecl):
+    return "::".join(scope_chain(section, fdecl) + [decl_name_component(section, fdecl)])
+
+
+def strip_template_args(s):
+    out = []
+    depth = 0
+    for ch in s:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            if depth > 0:
+                depth -= 1
+                continue
+        if depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def qname_from_pretty(pretty, anon_tag):
+    """Normalize a section header's pretty signature to a qualified name
+    comparable with fdecl_qname output."""
+    s = pretty
+    i = s.find(" [with ")
+    if i >= 0:
+        s = s[:i]
+    s = s.strip()
+    for suf in (" const", " volatile", " &&", " &", " noexcept"):
+        while s.endswith(suf):
+            s = s[: -len(suf)]
+    # Drop the parameter list: the last balanced (...) group — unless what
+    # precedes it is the name "operator()" itself.
+    if s.endswith(")") and not s.endswith("operator()"):
+        depth = 0
+        for j in range(len(s) - 1, -1, -1):
+            if s[j] == ")":
+                depth += 1
+            elif s[j] == "(":
+                depth -= 1
+                if depth == 0:
+                    if s[:j].endswith("operator"):
+                        break  # "operator()" — keep it
+                    s = s[:j]
+                    break
+    s = strip_template_args(s)
+    s = s.replace("{anonymous}", anon_tag)
+    # The last whitespace-separated token is the qualified name (return
+    # type and specifiers precede it; template args are already gone).
+    return s.split()[-1] if s.split() else s
+
+
+# ---------------------------------------------------------------------------
+# Body traversal
+# ---------------------------------------------------------------------------
+
+class Visit:
+    __slots__ = ("node", "line", "index")
+
+    def __init__(self, node, line, index):
+        self.node = node
+        self.line = line
+        self.index = index
+
+
+def body_root(section):
+    """The section's body root: by construction node @1."""
+    return section.nodes.get(1)
+
+
+def walk_body(section):
+    """In-order DFS over a section's statement tree.
+
+    Returns (visits, backedges):
+      visits    — list of Visit in traversal order, each with the closest
+                  preceding source line (from `line:` fields / local srcp);
+      backedges — list of (start_index, end_index) visit-index ranges, one
+                  per goto that targets an already-visited label (i.e. one
+                  per genericized loop).
+    """
+    root = body_root(section)
+    visits = []
+    backedges = []
+    if root is None:
+        return visits, backedges
+    seen = set()
+    label_first = {}
+    line = 0
+    stack = [root.nid]
+    while stack:
+        ref = stack.pop()
+        if ref in seen:
+            continue
+        seen.add(ref)
+        node = section.node(ref)
+        if node is None:
+            continue
+        lf = node.get("line")
+        if lf is not None:
+            try:
+                line = int(lf)
+            except ValueError:
+                pass
+        elif node.kind in ("var_decl", "parm_decl"):
+            f, l = srcp_of(node)
+            if l and f and os.path.basename(f) == os.path.basename(section.tu.source):
+                line = l
+        v = Visit(node, line, len(visits))
+        visits.append(v)
+        if node.kind == "label_expr":
+            lref = node.ref("name")
+            if lref is not None and lref not in label_first:
+                label_first[lref] = v.index
+        elif node.kind == "goto_expr":
+            lref = node.ref("labl")
+            if lref is not None and lref in label_first:
+                backedges.append((label_first[lref], v.index))
+        children = []
+        for k, cref in node.refs():
+            base = k.split(" ")[0]
+            if not (k.isdigit() or base == "op" or k in _WALK_KEYS):
+                continue
+            child = section.node(cref)
+            if child is None or child.kind in _WALK_STOP_KINDS:
+                continue
+            if child.kind.endswith("_type") or child.kind.endswith("_cst"):
+                continue
+            children.append(cref)
+        # push reversed so field order is preserved in traversal order
+        for cref in reversed(children):
+            stack.append(cref)
+    return visits, backedges
+
+
+def resolve_callee(section, call_node):
+    """The function_decl a call_expr/aggr_init_expr targets, or None for
+    indirect calls (function pointers, virtual dispatch)."""
+    fref = call_node.ref("fn")
+    if fref is None:
+        return None
+    f = section.node(fref)
+    hops = 0
+    while f is not None and hops < 4:
+        if f.kind == "function_decl":
+            return f
+        if f.kind in ("addr_expr", "nop_expr", "convert_expr", "non_lvalue_expr"):
+            nref = f.ref("op 0")
+            f = section.node(nref) if nref is not None else None
+            hops += 1
+            continue
+        return None  # var/parm/component (fn pointer) or obj_type_ref (virtual)
+    return None
+
+
+def call_args(call_node):
+    """Argument @refs of a call, in positional order."""
+    out = []
+    for k, v in call_node.fields:
+        if k.isdigit() and v.startswith("@"):
+            out.append((int(k), int(v[1:])))
+    return [r for _, r in sorted(out)]
+
+
+_STRIP_WRAPPERS = frozenset(
+    ["nop_expr", "convert_expr", "non_lvalue_expr", "float_expr",
+     "fix_trunc_expr", "view_convert_expr", "cleanup_point_expr",
+     "save_expr"]
+)
+
+
+def strip_wrappers(section, ref, limit=8):
+    for _ in range(limit):
+        n = section.node(ref)
+        if n is None or n.kind not in _STRIP_WRAPPERS:
+            return ref
+        nref = n.ref("op 0") if n.get("op 0") is not None else n.ref("expr")
+        if nref is None:
+            return ref
+        ref = nref
+    return ref
+
+
+def structural_key(section, ref, depth=0):
+    """A hashable structural fingerprint of an expression: two identical
+    fingerprints mean the expressions compute the same lvalue/rvalue
+    (decl references compare by node identity, constants by value)."""
+    if depth > 16:
+        return ("...",)
+    ref = strip_wrappers(section, ref)
+    n = section.node(ref)
+    if n is None:
+        return ("?", ref)
+    if n.kind in ("var_decl", "parm_decl", "result_decl", "field_decl", "function_decl"):
+        return ("decl", n.nid)
+    if n.kind.endswith("_cst"):
+        return (n.kind, n.get("int"), n.get("strg"), n.get("valu"))
+    parts = [n.kind]
+    for k, v in n.fields:
+        base = k.split(" ")[0]
+        if not (k.isdigit() or base in ("op", "fn", "expr", "decl", "valu")):
+            continue
+        if v.startswith("@"):
+            parts.append((k, structural_key(section, int(v[1:]), depth + 1)))
+        else:
+            parts.append((k, v))
+    return tuple(parts)
+
+
+# ---------------------------------------------------------------------------
+# Dump generation
+# ---------------------------------------------------------------------------
+
+class DumpError(RuntimeError):
+    pass
+
+
+def generate_dump(source, base_args, workdir, cwd=None):
+    """Run the compiler front end on `source`, returning the raw GENERIC
+    dump text. `base_args` is the argv of the real compile command (or a
+    default); codegen-affecting tail flags are overridden so the dump is
+    always produced at -O0 with warnings silenced."""
+    dump_path = os.path.join(
+        workdir, re.sub(r"[^A-Za-z0-9_.]", "_", os.path.basename(source)) + ".dump"
+    )
+    args = []
+    skip = False
+    for a in base_args:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip = True
+            continue
+        if a in ("-c", "-S", "-E", "-MD", "-MMD", "-M", "-MM", "-MP"):
+            continue
+        if a.startswith("-fdump-"):
+            continue
+        if a == source or os.path.abspath(a) == os.path.abspath(source):
+            continue
+        args.append(a)
+    # -S (not -fsyntax-only): the dump is written at gimplification, which
+    # never runs under -fsyntax-only. -O0 keeps the front end fast; it does
+    # not change the GENERIC tree shape.
+    args += [
+        "-w", "-O0", "-S", "-o", os.devnull,
+        "-fdump-tree-original-raw=" + dump_path, source,
+    ]
+    proc = subprocess.run(
+        args, cwd=cwd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        raise DumpError(
+            "front end failed for %s:\n%s" % (source, proc.stderr.strip()[:4000])
+        )
+    try:
+        with open(dump_path, "r", errors="replace") as f:
+            return f.read()
+    except OSError as e:
+        raise DumpError("no dump produced for %s: %s" % (source, e))
+
+
+def parse_tu(source, base_args, workdir=None, cwd=None):
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="dmtlint.") as td:
+            text = generate_dump(source, base_args, td, cwd=cwd)
+            return TU(source, text)
+    text = generate_dump(source, base_args, workdir, cwd=cwd)
+    return TU(source, text)

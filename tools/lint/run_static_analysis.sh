@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# One-stop static-analysis driver; the CI `static-analysis` job runs this
+# with --require-tools. Layers, in order:
+#
+#   1. dmt_lint --selftest   fixture expectations for the contract checks
+#   2. dmt_lint              repo contracts (determinism, no-alloc hot
+#                            paths, no-alias kernels) over every src/*.cc,
+#                            zero findings required
+#   3. clang-tidy            curated .clang-tidy profile, zero warnings
+#   4. cppcheck              generic bug patterns, zero warnings
+#
+# Usage: run_static_analysis.sh [--require-tools] [build_dir]
+#
+#   build_dir        directory holding compile_commands.json (default:
+#                    build; configure with CMake first — the project sets
+#                    CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#   --require-tools  fail (exit 2) when clang-tidy or cppcheck is missing.
+#                    Default is to skip missing tools with a note, so the
+#                    script stays useful on dev boxes that only have GCC.
+set -euo pipefail
+
+require_tools=0
+build_dir=build
+for arg in "$@"; do
+  case "${arg}" in
+    --require-tools) require_tools=1 ;;
+    -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+    *) build_dir=${arg} ;;
+  esac
+done
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+cd "${repo_root}"
+status=0
+
+echo "== dmt_lint --selftest =="
+selftest_rc=0
+python3 tools/lint/dmt_lint --selftest || selftest_rc=$?
+if [[ ${selftest_rc} -eq 77 ]]; then
+  echo "SKIP: dmt_lint needs GCC for its AST dumps" >&2
+elif [[ ${selftest_rc} -ne 0 ]]; then
+  status=1
+fi
+
+echo "== dmt_lint (contracts over src/) =="
+if [[ ${selftest_rc} -eq 77 ]]; then
+  echo "SKIP: dmt_lint needs GCC for its AST dumps" >&2
+else
+  python3 tools/lint/dmt_lint || status=1
+fi
+
+cc_json=${build_dir}/compile_commands.json
+if [[ ! -f "${cc_json}" ]]; then
+  echo "ERROR: ${cc_json} not found; configure first:" >&2
+  echo "  cmake -B ${build_dir} -S ." >&2
+  exit 2
+fi
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # shellcheck disable=SC2046
+  find src -name '*.cc' -print0 \
+    | xargs -0 clang-tidy -p "${build_dir}" --quiet \
+        --warnings-as-errors='*' \
+    || status=1
+else
+  echo "SKIP: clang-tidy not installed" >&2
+  [[ ${require_tools} -eq 1 ]] && { echo "ERROR: --require-tools set" >&2; exit 2; }
+fi
+
+echo "== cppcheck =="
+if command -v cppcheck >/dev/null 2>&1; then
+  cppcheck \
+    --project="${cc_json}" \
+    --enable=warning,performance,portability \
+    --suppressions-list=tools/lint/cppcheck_suppressions.txt \
+    --inline-suppr \
+    --error-exitcode=1 \
+    --quiet \
+    || status=1
+else
+  echo "SKIP: cppcheck not installed" >&2
+  [[ ${require_tools} -eq 1 ]] && { echo "ERROR: --require-tools set" >&2; exit 2; }
+fi
+
+if [[ ${status} -eq 0 ]]; then
+  echo "static analysis: all layers clean"
+else
+  echo "static analysis: FAILURES above" >&2
+fi
+exit ${status}

@@ -1,0 +1,41 @@
+// Violating fixture: every determinism check family fires here.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-FINDING: determinism-banned-call fn=SeedFromWallClock
+// EXPECT-FINDING: determinism-banned-call fn=EntropyMix
+// EXPECT-FINDING: determinism-unordered-iter fn=SummarizeCounters
+// EXPECT-FINDING: determinism-thread-fp fn=PlanChunks
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
+#include <unordered_map>
+
+namespace dmt {
+namespace fixture {
+
+// Wall-clock reads are replay-breaking in protocol code: a re-run of the
+// same stream would observe different values.
+long SeedFromWallClock() {
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count() + std::time(nullptr);
+}
+
+// The libc PRNG draws from hidden global state.
+int EntropyMix() { return std::rand(); }
+
+// Folding floating-point state while iterating an unordered container
+// makes the sum depend on hash-table layout (libstdc++ version, load
+// factor, insertion history).
+double SummarizeCounters(const std::unordered_map<unsigned long, double>& m) {
+  double total = 0.0;
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}
+
+// Sizing work by the machine's thread count changes the FP reduction
+// order across hosts.
+unsigned PlanChunks() { return std::thread::hardware_concurrency() * 4u; }
+
+}  // namespace fixture
+}  // namespace dmt

@@ -1,0 +1,41 @@
+// Clean fixture: deterministic counterparts of the patterns the
+// determinism checks reject, plus the sanctioned suppression form.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-CLEAN
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace dmt {
+namespace fixture {
+
+// Ordered-map iteration has a replay-stable order, so FP folds over it
+// are deterministic.
+double SummarizeOrdered(const std::map<unsigned long, double>& m) {
+  double total = 0.0;
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}
+
+// Draining an unordered container into a vector and sorting before any
+// order-sensitive consumer is the sanctioned pattern; the drain loop
+// itself carries the allow directive.
+// dmt-lint: allow(determinism-unordered-iter): drained and sorted below.
+std::vector<unsigned long> SortedKeys(
+    const std::unordered_map<unsigned long, double>& m) {
+  std::vector<unsigned long> keys;
+  keys.reserve(m.size());
+  // dmt-lint: allow(determinism-unordered-iter): keys sorted before use.
+  for (const auto& kv : m) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// A fixed chunk schedule keeps the reduction order independent of the
+// machine the protocol replays on.
+unsigned FixedChunks() { return 8u; }
+
+}  // namespace fixture
+}  // namespace dmt

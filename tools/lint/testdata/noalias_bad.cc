@@ -1,0 +1,23 @@
+// Violating fixture: the same buffer passed to two DMT_NOALIAS
+// parameters, one of them written through.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-FINDING: noalias-duplicate-arg fn=BadCall
+#include <cstddef>
+
+#include "util/contracts.h"
+
+namespace dmt {
+namespace fixture {
+
+void Accumulate(const double* DMT_NOALIAS src, double* DMT_NOALIAS dst,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void BadCall(double* buf, std::size_t n) {
+  Accumulate(buf, buf, n);
+}
+
+}  // namespace fixture
+}  // namespace dmt

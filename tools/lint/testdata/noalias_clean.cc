@@ -1,0 +1,33 @@
+// Clean fixture: DMT_NOALIAS call sites the aliasing check must accept —
+// distinct buffers, offset expressions it cannot prove identical, and a
+// read-only duplicate (no parameter written through).
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-CLEAN
+#include <cstddef>
+
+#include "util/contracts.h"
+
+namespace dmt {
+namespace fixture {
+
+void Accumulate(const double* DMT_NOALIAS src, double* DMT_NOALIAS dst,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+double DotNoAlias(const double* DMT_NOALIAS x, const double* DMT_NOALIAS y,
+                  std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void GoodCalls(double* a, double* b, const double* v, std::size_t n) {
+  Accumulate(a, b, n);      // distinct buffers
+  Accumulate(a, a + 1, n);  // not provably identical (caller's burden)
+  (void)DotNoAlias(v, v, n);  // duplicate, but neither side is written
+}
+
+}  // namespace fixture
+}  // namespace dmt
