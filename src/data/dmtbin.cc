@@ -1,9 +1,13 @@
 #include "data/dmtbin.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "util/check.h"
+#include "util/codec.h"
 
 namespace dmt {
 namespace data {
@@ -11,20 +15,8 @@ namespace {
 
 constexpr char kMagic[8] = {'D', 'M', 'T', 'B', 'I', 'N', '\0', 0x01};
 
-// Fixed-width little-endian field codecs. The repo only targets
-// little-endian hosts (x86-64 / AArch64), so these are raw memcpys; the
-// explicit width keeps the on-disk layout independent of host types.
-template <typename T>
-void PutField(char* header, size_t offset, T value) {
-  std::memcpy(header + offset, &value, sizeof(T));
-}
-
-template <typename T>
-T GetField(const char* header, size_t offset) {
-  T value;
-  std::memcpy(&value, header + offset, sizeof(T));
-  return value;
-}
+// Field access uses the shared fixed-width little-endian codecs
+// (util/codec.h) — the same primitives the wire frame format builds on.
 
 void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -50,15 +42,21 @@ bool WriteDmtbin(const std::string& path, const linalg::Matrix& rows,
 
   char header[kDmtbinHeaderBytes] = {};
   std::memcpy(header, kMagic, sizeof(kMagic));
-  PutField<uint32_t>(header, 8, kDmtbinVersion);
-  PutField<uint32_t>(header, 12, static_cast<uint32_t>(rows.cols()));
-  PutField<uint64_t>(header, 16, static_cast<uint64_t>(rows.rows()));
-  PutField<double>(header, 24, beta);
-  PutField<double>(header, 32, frob_sq);
+  PutLE<uint32_t>(header, 8, kDmtbinVersion);
+  PutLE<uint32_t>(header, 12, static_cast<uint32_t>(rows.cols()));
+  PutLE<uint64_t>(header, 16, static_cast<uint64_t>(rows.rows()));
+  PutLE<double>(header, 24, beta);
+  PutLE<double>(header, 32, frob_sq);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  // Write to a temp file in the same directory, then rename into place:
+  // the rename is atomic on POSIX, so a failed or interrupted write never
+  // leaves a partial cache at the final path (which a later run would
+  // reject — or a concurrent OpenDataset() would stream half-written).
+  // The pid suffix keeps two concurrent writers off each other's temp.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
-    SetError(error, "dmtbin: cannot open " + path + " for writing");
+    SetError(error, "dmtbin: cannot open " + tmp + " for writing");
     return false;
   }
   out.write(header, sizeof(header));
@@ -67,8 +65,16 @@ bool WriteDmtbin(const std::string& path, const linalg::Matrix& rows,
             static_cast<std::streamsize>(rows.rows() * rows.cols() *
                                          sizeof(double)));
   out.flush();
-  if (!out.good()) {
-    SetError(error, "dmtbin: short write to " + path);
+  const bool wrote = out.good();
+  out.close();
+  if (!wrote) {
+    SetError(error, "dmtbin: short write to " + tmp);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "dmtbin: cannot rename " + tmp + " to " + path);
+    std::remove(tmp.c_str());
     return false;
   }
   return true;
@@ -92,11 +98,11 @@ bool ReadDmtbinInfo(const std::string& path, DmtbinInfo* info,
     return false;
   }
   DmtbinInfo parsed;
-  parsed.version = GetField<uint32_t>(header, 8);
-  parsed.dim = GetField<uint32_t>(header, 12);
-  parsed.rows = GetField<uint64_t>(header, 16);
-  parsed.beta = GetField<double>(header, 24);
-  parsed.frob_sq = GetField<double>(header, 32);
+  parsed.version = GetLE<uint32_t>(header, 8);
+  parsed.dim = GetLE<uint32_t>(header, 12);
+  parsed.rows = GetLE<uint64_t>(header, 16);
+  parsed.beta = GetLE<double>(header, 24);
+  parsed.frob_sq = GetLE<double>(header, 32);
   if (parsed.version != kDmtbinVersion) {
     SetError(error, "dmtbin: " + path + " has unsupported version " +
                         std::to_string(parsed.version));
@@ -141,17 +147,23 @@ DmtbinSource::DmtbinSource(const std::string& path, size_t max_rows,
 
 size_t DmtbinSource::NextChunk(size_t max_rows, linalg::Matrix* out) {
   DMT_CHECK_GT(max_rows, 0u);
-  if (!ok_ || served_ >= info_.rows) return 0;
+  if (!ok_ || !read_error_.empty() || served_ >= info_.rows) return 0;
   const size_t take = static_cast<size_t>(
       std::min<uint64_t>(max_rows, info_.rows - served_));
   // One bulk read per chunk (the cache exists to make repeat runs fast).
   row_buf_.resize(take * info_.dim);
   in_.read(reinterpret_cast<char*>(row_buf_.data()),
            static_cast<std::streamsize>(row_buf_.size() * sizeof(double)));
-  // The constructor verified the byte size, so a short read here is an
-  // I/O failure, not expected end-of-data.
-  DMT_CHECK_EQ(in_.gcount(), static_cast<std::streamsize>(row_buf_.size() *
-                                                          sizeof(double)));
+  if (in_.gcount() !=
+      static_cast<std::streamsize>(row_buf_.size() * sizeof(double))) {
+    // The constructor verified the byte size, so a short read means the
+    // file shrank or failed underneath us. Latch the error and serve
+    // nothing further instead of aborting the process mid-run; callers
+    // distinguish this from clean exhaustion via read_error().
+    read_error_ = "dmtbin: short read at row " + std::to_string(served_) +
+                  " (" + info_.origin + " changed or failed mid-stream)";
+    return 0;
+  }
   out->AppendRows(row_buf_.data(), take, info_.dim);
   served_ += take;
   return take;
@@ -162,6 +174,7 @@ void DmtbinSource::Reset() {
   in_.clear();
   in_.seekg(kDmtbinHeaderBytes);
   served_ = 0;
+  read_error_.clear();
 }
 
 }  // namespace data

@@ -53,8 +53,11 @@ struct DmtbinInfo {
 };
 
 /// Writes `rows` (all of them) as a .dmtbin file, computing the header's
-/// beta / frob_sq fields from the data. Returns false and sets `*error`
-/// (when non-null) on I/O failure or an empty matrix.
+/// beta / frob_sq fields from the data. The write goes to a temp file in
+/// the same directory followed by an atomic rename, so a failed or
+/// interrupted write never leaves a partial cache at `path`. Returns
+/// false and sets `*error` (when non-null) on I/O failure or an empty
+/// matrix.
 bool WriteDmtbin(const std::string& path, const linalg::Matrix& rows,
                  std::string* error = nullptr);
 
@@ -84,8 +87,17 @@ class DmtbinSource : public DatasetSource {
   void set_name(const std::string& name) { info_.name = name; }
 
   const DatasetInfo& info() const override { return info_; }
+
+  /// Serves up to `max_rows` rows. A short read (the file shrank or
+  /// failed underneath us after the constructor validated its size)
+  /// returns 0 and latches read_error() instead of aborting; later calls
+  /// keep returning 0 until Reset().
   size_t NextChunk(size_t max_rows, linalg::Matrix* out) override;
   void Reset() override;
+
+  /// Non-empty after NextChunk() hit a mid-stream short read. Callers
+  /// use this to distinguish an I/O failure from clean exhaustion.
+  const std::string& read_error() const { return read_error_; }
 
  private:
   bool ok_ = false;
@@ -93,6 +105,7 @@ class DmtbinSource : public DatasetSource {
   std::ifstream in_;
   uint64_t served_ = 0;
   std::vector<double> row_buf_;
+  std::string read_error_;
 };
 
 }  // namespace data

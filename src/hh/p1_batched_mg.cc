@@ -82,6 +82,32 @@ void P1BatchedMG::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
+std::vector<P1BatchedMG::PendingFlush> P1BatchedMG::TakePendingFlushes(
+    size_t site) {
+  DMT_CHECK_LT(site, outbox_.size());
+  std::vector<PendingFlush> out = std::move(outbox_[site]);
+  outbox_[site].clear();
+  return out;
+}
+
+void P1BatchedMG::DeliverFlush(size_t site, const PendingFlush& flush) {
+  DMT_CHECK_LT(site, site_summaries_.size());
+  // Accounting happens at delivery on the coordinator's instance — the
+  // mirror image of EmitFlush, which accounts at emission on the site's
+  // instance. The tally sees the same messages either way, so the wire
+  // coordinator's CommStats matches the in-process oracle's.
+  for (size_t c = 0; c < flush.summary.size(); ++c) {
+    network_.RecordElement(site);
+  }
+  if (flush.summary.size() == 0) network_.RecordScalar(site);
+  ApplyFlush(flush);
+}
+
+void P1BatchedMG::SetSiteBroadcastWeight(size_t site, double west) {
+  DMT_CHECK_LT(site, site_west_.size());
+  site_west_[site] = west;
+}
+
 double P1BatchedMG::EstimateElementWeight(uint64_t element) const {
   return coordinator_summary_.Estimate(element);
 }

@@ -43,14 +43,31 @@ class P1BatchedMG : public HeavyHitterProtocol {
   std::string name() const override { return "P1"; }
   std::vector<uint64_t> TrackedElements() const override;
 
- private:
   /// A site's shipped batch awaiting coordinator delivery: the snapshot of
   /// its MG summary plus the local weight W_i since the previous flush.
+  /// Public because the wire transport (src/net) serializes it.
   struct PendingFlush {
     sketch::WeightedMisraGries summary;
     double weight;
   };
 
+  // --- Wire-transport hooks (src/net). The in-process schedule and these
+  // hooks expose the same site/coordinator halves, so a run over a real
+  // channel replays bit-identically (tests/net_transport_test.cc).
+
+  /// Site half: moves out this site's queued flushes, in emission order.
+  std::vector<PendingFlush> TakePendingFlushes(size_t site);
+  /// Coordinator half: records the message cost for `site` and applies one
+  /// flush — the remote-delivery equivalent of Synchronize()'s drain.
+  void DeliverFlush(size_t site, const PendingFlush& flush);
+  /// Last broadcast W-hat (what the coordinator pushes down to sites).
+  double broadcast_weight() const { return broadcast_weight_; }
+  /// Installs a received W-hat broadcast into one site's view.
+  void SetSiteBroadcastWeight(size_t site, double west);
+  /// Counter budget of every summary in this run (wire k cross-check).
+  size_t summary_k() const { return coordinator_summary_.k(); }
+
+ private:
   // Site half of a flush (messages + outbox + site reset).
   void EmitFlush(size_t site);
   // Delivers one site's queued flushes in emission order.

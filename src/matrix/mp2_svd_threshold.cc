@@ -116,6 +116,33 @@ void MP2SvdThreshold::Synchronize() {
   }
 }
 
+std::vector<MP2SvdThreshold::PendingMsg> MP2SvdThreshold::TakePendingMessages(
+    size_t site) {
+  DMT_CHECK_LT(site, outbox_.size());
+  std::vector<PendingMsg> out = std::move(outbox_[site]);
+  outbox_[site].clear();
+  return out;
+}
+
+void MP2SvdThreshold::DeliverMessage(size_t site, const PendingMsg& msg) {
+  DMT_CHECK_LT(site, sites_.size());
+  if (msg.is_scalar) {
+    network_.RecordScalar(site);
+    ApplyScalar(msg.value);
+  } else {
+    // The wire coordinator may never see a raw row, so the first delivered
+    // direction sizes the Gram.
+    EnsureDim(msg.dir);
+    network_.RecordVector(site);
+    coord_gram_.AddOuterProduct(msg.value, msg.dir);
+  }
+}
+
+void MP2SvdThreshold::SetSiteFest(size_t site, double fest) {
+  DMT_CHECK_LT(site, sites_.size());
+  sites_[site].fest = fest;
+}
+
 void MP2SvdThreshold::ElementPhase(size_t site,
                                    const std::vector<double>& row, double w,
                                    std::vector<PendingMsg>* sink) {

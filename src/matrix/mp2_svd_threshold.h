@@ -77,6 +77,34 @@ class MP2SvdThreshold : public MatrixTrackingProtocol {
     return decompositions_.load(std::memory_order_relaxed);
   }
 
+  /// One queued site->coordinator message: either a total-mass scalar
+  /// report (value = F_j) or a shipped direction (value = lambda,
+  /// dir = v; the coordinator appends sqrt(lambda) v to B, i.e. adds
+  /// lambda * v v^T to its Gram). Public because the wire transport
+  /// (src/net) serializes it.
+  struct PendingMsg {
+    bool is_scalar;
+    double value;
+    std::vector<double> dir;
+  };
+
+  // --- Wire-transport hooks (src/net); see P1BatchedMG for the scheme.
+
+  /// Site half: moves out this site's queued messages, in emission order.
+  std::vector<PendingMsg> TakePendingMessages(size_t site);
+  /// Coordinator half: records the message cost for `site` and applies one
+  /// message — the remote-delivery equivalent of Synchronize()'s drain.
+  void DeliverMessage(size_t site, const PendingMsg& msg);
+  /// F-hat as of the last broadcast (0 before the first) — the value the
+  /// coordinator pushes down to sites at a window boundary.
+  double last_broadcast_fest() const {
+    return sites_.empty() ? 0.0 : sites_[0].fest;
+  }
+  /// Installs a received F-hat broadcast into one site's view.
+  void SetSiteFest(size_t site, double fest);
+  /// Row dimension (0 until the first row or delivered direction).
+  size_t dim() const { return dim_; }
+
  private:
   // Each site keeps the Gram of its unsent rows in original coordinates;
   // appending a row is one symmetric rank-1 update and a threshold check
@@ -95,16 +123,6 @@ class MP2SvdThreshold : public MatrixTrackingProtocol {
     linalg::LanczosSolver solver;
     std::vector<double> vals;
     linalg::Matrix vecs;
-  };
-
-  /// One queued site->coordinator message: either a total-mass scalar
-  /// report (value = F_j) or a shipped direction (value = lambda,
-  /// dir = v; the coordinator appends sqrt(lambda) v to B, i.e. adds
-  /// lambda * v v^T to its Gram).
-  struct PendingMsg {
-    bool is_scalar;
-    double value;
-    std::vector<double> dir;
   };
 
   // Lazy structural init from the first row (thread-safe via dim_once_).

@@ -1,0 +1,174 @@
+#include "net/messages.h"
+
+#include "util/codec.h"
+
+namespace dmt {
+namespace net {
+namespace {
+
+// Guard for decoded element counts: a count field must be consistent with
+// the bytes actually present, or a corrupt count would drive a huge
+// allocation before the reader runs dry.
+bool FitsRemaining(const ByteReader& r, uint64_t count, size_t elem_bytes) {
+  return count <= r.remaining() / elem_bytes;
+}
+
+}  // namespace
+
+void EncodeHello(const HelloMsg& m, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Put<uint32_t>(m.site);
+  w.Put<uint32_t>(m.num_sites);
+  w.Put<uint64_t>(m.num_windows);
+  w.Put<uint8_t>(static_cast<uint8_t>(m.protocol.size()));
+  w.PutBytes(m.protocol.data(), m.protocol.size());
+}
+
+bool DecodeHello(const uint8_t* payload, size_t n, HelloMsg* out) {
+  ByteReader r(payload, n);
+  out->site = r.Get<uint32_t>();
+  out->num_sites = r.Get<uint32_t>();
+  out->num_windows = r.Get<uint64_t>();
+  const uint8_t name_len = r.Get<uint8_t>();
+  if (!r.ok() || r.remaining() < name_len) return false;
+  out->protocol.resize(name_len);
+  r.GetBytes(out->protocol.data(), name_len);
+  return r.exhausted();
+}
+
+void EncodeWindowEnd(const WindowEndMsg& m, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Put<uint64_t>(m.window);
+}
+
+bool DecodeWindowEnd(const uint8_t* payload, size_t n, WindowEndMsg* out) {
+  ByteReader r(payload, n);
+  out->window = r.Get<uint64_t>();
+  return r.exhausted();
+}
+
+void EncodeBroadcast(const BroadcastMsg& m, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Put<uint64_t>(m.window);
+  w.Put<double>(m.value);
+}
+
+bool DecodeBroadcast(const uint8_t* payload, size_t n, BroadcastMsg* out) {
+  ByteReader r(payload, n);
+  out->window = r.Get<uint64_t>();
+  out->value = r.Get<double>();
+  return r.exhausted();
+}
+
+void EncodeHHFlush(const HHFlushMsg& m, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Put<double>(m.weight);
+  w.Put<uint32_t>(m.k);
+  w.Put<double>(m.total_weight);
+  w.Put<double>(m.total_decrement);
+  w.Put<uint32_t>(static_cast<uint32_t>(m.counters.size()));
+  for (const auto& [element, weight] : m.counters) {
+    w.Put<uint64_t>(element);
+    w.Put<double>(weight);
+  }
+}
+
+bool DecodeHHFlush(const uint8_t* payload, size_t n, HHFlushMsg* out) {
+  ByteReader r(payload, n);
+  out->weight = r.Get<double>();
+  out->k = r.Get<uint32_t>();
+  out->total_weight = r.Get<double>();
+  out->total_decrement = r.Get<double>();
+  const uint32_t count = r.Get<uint32_t>();
+  if (!r.ok() || !FitsRemaining(r, count, 16)) return false;
+  out->counters.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->counters[i].first = r.Get<uint64_t>();
+    out->counters[i].second = r.Get<double>();
+  }
+  return r.exhausted();
+}
+
+void EncodeMatrixScalar(const MatrixScalarMsg& m, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Put<double>(m.value);
+}
+
+bool DecodeMatrixScalar(const uint8_t* payload, size_t n,
+                        MatrixScalarMsg* out) {
+  ByteReader r(payload, n);
+  out->value = r.Get<double>();
+  return r.exhausted();
+}
+
+void EncodeMatrixDirection(const MatrixDirectionMsg& m,
+                           std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Put<double>(m.lambda);
+  w.Put<uint32_t>(static_cast<uint32_t>(m.dir.size()));
+  w.PutBytes(m.dir.data(), m.dir.size() * sizeof(double));
+}
+
+bool DecodeMatrixDirection(const uint8_t* payload, size_t n,
+                           MatrixDirectionMsg* out) {
+  ByteReader r(payload, n);
+  out->lambda = r.Get<double>();
+  const uint32_t dim = r.Get<uint32_t>();
+  if (!r.ok() || !FitsRemaining(r, dim, sizeof(double))) return false;
+  out->dir.resize(dim);
+  r.GetBytes(out->dir.data(), dim * sizeof(double));
+  return r.exhausted();
+}
+
+void EncodeFdSketch(const FdSketchMsg& m, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Put<uint32_t>(m.ell);
+  w.Put<uint32_t>(m.dim);
+  w.Put<double>(m.stream_sq_frob);
+  w.Put<double>(m.total_shrinkage);
+  w.Put<uint64_t>(static_cast<uint64_t>(m.rows.rows()));
+  w.Put<uint32_t>(static_cast<uint32_t>(m.rows.cols()));
+  if (!m.rows.empty()) {
+    w.PutBytes(m.rows.Row(0), m.rows.rows() * m.rows.cols() * sizeof(double));
+  }
+}
+
+bool DecodeFdSketch(const uint8_t* payload, size_t n, FdSketchMsg* out) {
+  ByteReader r(payload, n);
+  out->ell = r.Get<uint32_t>();
+  out->dim = r.Get<uint32_t>();
+  out->stream_sq_frob = r.Get<double>();
+  out->total_shrinkage = r.Get<double>();
+  const uint64_t rows = r.Get<uint64_t>();
+  const uint32_t cols = r.Get<uint32_t>();
+  if (!r.ok() || cols == 0 ||
+      rows > r.remaining() / (cols * sizeof(double))) {
+    // A rows == 0 snapshot still carries cols so shape survives; cols == 0
+    // with rows > 0 is malformed. Accept the degenerate empty sketch.
+    if (r.ok() && rows == 0 && cols == 0 && r.exhausted()) {
+      out->rows = linalg::Matrix();
+      return true;
+    }
+    return false;
+  }
+  out->rows = linalg::Matrix(static_cast<size_t>(rows), cols);
+  if (rows != 0) {
+    r.GetBytes(out->rows.Row(0),
+               static_cast<size_t>(rows) * cols * sizeof(double));
+  }
+  return r.exhausted();
+}
+
+void EncodeSiteDone(const SiteDoneMsg& m, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Put<uint64_t>(m.windows);
+}
+
+bool DecodeSiteDone(const uint8_t* payload, size_t n, SiteDoneMsg* out) {
+  ByteReader r(payload, n);
+  out->windows = r.Get<uint64_t>();
+  return r.exhausted();
+}
+
+}  // namespace net
+}  // namespace dmt

@@ -1,0 +1,233 @@
+#include "net/workload.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "data/synthetic_matrix.h"
+#include "data/zipf.h"
+#include "stream/router.h"
+
+namespace dmt {
+namespace net {
+namespace {
+
+const char* FindArgValue(int argc, char** argv, const char* flag) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, flag) == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+      return arg + flag_len + 1;
+    }
+  }
+  return nullptr;
+}
+
+std::string ParseStringArg(int argc, char** argv, const char* flag,
+                           const std::string& fallback) {
+  const char* v = FindArgValue(argc, argv, flag);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+double ParseDoubleArg(int argc, char** argv, const char* flag,
+                      double fallback) {
+  const char* v = FindArgValue(argc, argv, flag);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v || *end != '\0') ? fallback : parsed;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// Bitwise double comparison: the equivalence contract is bit-identity, and
+// operator== would also paper over signed-zero / NaN differences.
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+WireRunConfig ParseWireArgs(int argc, char** argv) {
+  WireRunConfig c;
+  c.protocol = ParseStringArg(argc, argv, "--protocol", c.protocol);
+  c.num_sites = stream::ParseSizeArg(argc, argv, "--sites", c.num_sites);
+  c.n = stream::ParseSizeArg(argc, argv, "--n", c.n);
+  c.chunk = stream::ParseSizeArg(argc, argv, "--chunk", c.chunk);
+  c.eps = ParseDoubleArg(argc, argv, "--eps", c.eps);
+  c.seed = stream::ParseSizeArg(argc, argv, "--seed", c.seed);
+  c.universe = stream::ParseSizeArg(argc, argv, "--universe",
+                                    static_cast<size_t>(c.universe));
+  c.skew = ParseDoubleArg(argc, argv, "--skew", c.skew);
+  c.beta = ParseDoubleArg(argc, argv, "--beta", c.beta);
+  c.dim = stream::ParseSizeArg(argc, argv, "--dim", c.dim);
+  c.host = ParseStringArg(argc, argv, "--host", c.host);
+  c.port = static_cast<uint16_t>(
+      stream::ParseSizeArg(argc, argv, "--port", c.port));
+  c.port_file = ParseStringArg(argc, argv, "--port-file", c.port_file);
+  c.site = stream::ParseSizeArg(argc, argv, "--site", c.site);
+  c.check = HasFlag(argc, argv, "--check");
+  return c;
+}
+
+WireWorkload MakeWireWorkload(const WireRunConfig& config) {
+  WireWorkload w;
+  if (config.protocol == "mp2") {
+    data::SyntheticMatrixConfig gen_config;
+    gen_config.dim = config.dim;
+    gen_config.latent_rank = std::max<size_t>(1, config.dim / 3);
+    gen_config.seed = config.seed;
+    data::SyntheticMatrixGenerator gen(gen_config);
+    w.rows.resize(config.n);
+    for (size_t i = 0; i < config.n; ++i) w.rows[i] = gen.Next();
+  } else {
+    data::ZipfianStream z(config.universe, config.skew, config.beta,
+                          config.seed);
+    w.items.resize(config.n);
+    for (size_t i = 0; i < config.n; ++i) {
+      const data::WeightedItem item = z.Next();
+      w.items[i] = stream::WeightedUpdate{item.element, item.weight};
+    }
+  }
+  stream::Router router(config.num_sites, stream::RoutingPolicy::kUniform,
+                        config.seed + 1);
+  w.sites = stream::AssignSites(&router, config.n);
+  // RunImpl's schedule derives num_sites from the materialized assignment
+  // (max site + 1), which can be below config.num_sites for tiny streams;
+  // match it exactly or the bootstrap window would differ.
+  size_t sched_sites = 0;
+  for (size_t s : w.sites) sched_sites = std::max(sched_sites, s + 1);
+  w.window_ends = stream::WindowEnds(config.n, config.chunk, sched_sites);
+  return w;
+}
+
+WireProtocol MakeWireProtocol(const WireRunConfig& config) {
+  WireProtocol p;
+  if (config.protocol == "p1") {
+    p.hh = std::make_unique<hh::P1BatchedMG>(config.num_sites, config.eps);
+    p.adapter = std::make_unique<P1Wire>(p.hh.get(), config.num_sites);
+  } else if (config.protocol == "mp2") {
+    p.mp = std::make_unique<matrix::MP2SvdThreshold>(config.num_sites,
+                                                     config.eps);
+    p.adapter = std::make_unique<MP2Wire>(p.mp.get(), config.num_sites);
+  }
+  return p;
+}
+
+std::function<void(uint32_t)> MakeSiteUpdater(const WireWorkload& workload,
+                                              WireProtocol* protocol,
+                                              size_t site) {
+  if (protocol->hh != nullptr) {
+    hh::P1BatchedMG* p = protocol->hh.get();
+    const auto* items = &workload.items;
+    return [p, items, site](uint32_t i) {
+      p->SiteUpdate(site, (*items)[i].element, (*items)[i].weight);
+    };
+  }
+  matrix::MP2SvdThreshold* p = protocol->mp.get();
+  const auto* rows = &workload.rows;
+  return [p, rows, site](uint32_t i) { p->SiteUpdate(site, (*rows)[i]); };
+}
+
+WireProtocol RunOracle(const WireRunConfig& config,
+                       const WireWorkload& workload) {
+  WireProtocol p = MakeWireProtocol(config);
+  stream::SimulationOptions opt;
+  opt.threads = 1;  // any count is bit-identical; one keeps the check cheap
+  opt.chunk_elements = config.chunk;
+  stream::SimulationDriver driver(opt);
+  if (p.hh != nullptr) {
+    driver.Run(p.hh.get(), workload.sites, workload.items);
+  } else if (p.mp != nullptr) {
+    driver.Run(p.mp.get(), workload.sites, workload.rows);
+  }
+  return p;
+}
+
+std::string DiffWireProtocols(const WireRunConfig& config,
+                              const WireProtocol& a, const WireProtocol& b) {
+  std::ostringstream out;
+  const auto diff_stats = [&](const stream::CommStats& sa,
+                              const stream::CommStats& sb) {
+    if (sa.scalar_up != sb.scalar_up || sa.element_up != sb.element_up ||
+        sa.vector_up != sb.vector_up ||
+        sa.broadcast_events != sb.broadcast_events ||
+        sa.broadcast_msgs != sb.broadcast_msgs || sa.rounds != sb.rounds) {
+      out << "CommStats differ: (" << sa.scalar_up << "," << sa.element_up
+          << "," << sa.vector_up << "," << sa.broadcast_events << ","
+          << sa.broadcast_msgs << "," << sa.rounds << ") vs ("
+          << sb.scalar_up << "," << sb.element_up << "," << sb.vector_up
+          << "," << sb.broadcast_events << "," << sb.broadcast_msgs << ","
+          << sb.rounds << "); ";
+    }
+  };
+
+  if (config.protocol == "p1") {
+    if (a.hh == nullptr || b.hh == nullptr) return "p1 instance missing";
+    diff_stats(a.hh->comm_stats(), b.hh->comm_stats());
+    if (a.hh->per_site_messages() != b.hh->per_site_messages()) {
+      out << "per-site messages differ; ";
+    }
+    if (!SameBits(a.hh->EstimateTotalWeight(), b.hh->EstimateTotalWeight())) {
+      out << "total weight differs (" << a.hh->EstimateTotalWeight()
+          << " vs " << b.hh->EstimateTotalWeight() << "); ";
+    }
+    if (!SameBits(a.hh->broadcast_weight(), b.hh->broadcast_weight())) {
+      out << "broadcast W-hat differs; ";
+    }
+    const auto ea = a.hh->TrackedElements();
+    const auto eb = b.hh->TrackedElements();
+    if (ea != eb) {
+      out << "tracked element sets differ (" << ea.size() << " vs "
+          << eb.size() << " elements); ";
+    } else {
+      for (uint64_t e : ea) {
+        if (!SameBits(a.hh->EstimateElementWeight(e),
+                      b.hh->EstimateElementWeight(e))) {
+          out << "estimate for element " << e << " differs; ";
+          break;
+        }
+      }
+    }
+    return out.str();
+  }
+
+  if (a.mp == nullptr || b.mp == nullptr) return "mp2 instance missing";
+  diff_stats(a.mp->comm_stats(), b.mp->comm_stats());
+  if (a.mp->per_site_messages() != b.mp->per_site_messages()) {
+    out << "per-site messages differ; ";
+  }
+  if (!SameBits(a.mp->coordinator_frobenius(),
+                b.mp->coordinator_frobenius())) {
+    out << "coordinator F-hat differs; ";
+  }
+  if (!SameBits(a.mp->last_broadcast_fest(), b.mp->last_broadcast_fest())) {
+    out << "broadcast F-hat differs; ";
+  }
+  const linalg::Matrix ga = a.mp->CoordinatorGram();
+  const linalg::Matrix gb = b.mp->CoordinatorGram();
+  if (ga.rows() != gb.rows() || ga.cols() != gb.cols()) {
+    out << "coordinator Gram shapes differ; ";
+  } else {
+    for (size_t i = 0; i < ga.rows(); ++i) {
+      for (size_t j = 0; j < ga.cols(); ++j) {
+        if (!SameBits(ga(i, j), gb(i, j))) {
+          out << "coordinator Gram differs at (" << i << "," << j << "); ";
+          i = ga.rows();
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace net
+}  // namespace dmt

@@ -117,5 +117,17 @@ void WeightedMisraGries::Clear() {
   total_decrement_ = 0.0;
 }
 
+void WeightedMisraGries::RestoreState(
+    double total_weight, double total_decrement,
+    const std::vector<std::pair<uint64_t, double>>& counters) {
+  DMT_CHECK_LE(counters.size(), 2 * k_);
+  counters_.clear();
+  for (const auto& [element, weight] : counters) {
+    counters_[element] = weight;
+  }
+  total_weight_ = total_weight;
+  total_decrement_ = total_decrement;
+}
+
 }  // namespace sketch
 }  // namespace dmt

@@ -60,6 +60,16 @@ class WeightedMisraGries {
   /// Drops all state (counters and weight tallies).
   void Clear();
 
+  /// Replaces all state with a deserialized snapshot (wire transport,
+  /// net/messages.h): the exact counter set plus the weight tallies. The
+  /// counter budget k is unchanged; `counters` must hold at most 2k live
+  /// entries with positive weights (what Items() of a valid summary
+  /// yields). The rebuilt summary merges bit-identically to the original —
+  /// keyed accumulation and compaction depend only on the counter
+  /// multiset, never on map iteration order.
+  void RestoreState(double total_weight, double total_decrement,
+                    const std::vector<std::pair<uint64_t, double>>& counters);
+
  private:
   void CompactIfNeeded();
 

@@ -56,9 +56,14 @@ linalg::Matrix SlidingWindowFD::Sketch(bool include_straddling) const {
   for (const auto& b : blocks_) {
     if (first) {
       first = false;
-      // The oldest block may straddle the window boundary.
+      // The oldest block straddles the window boundary when its oldest
+      // covered row (b.newest - b.rows + 1) has already expired. This is
+      // well-defined for every block — including one anchored at row 1,
+      // where newest == rows; an extra `newest > rows` guard here used to
+      // make such a block never count as straddling, silently including
+      // expired rows in the strict sketch (regression test:
+      // SlidingWindowFdTest.StrictSketchExcludesFrontBlockAnchoredAtRowOne).
       const bool straddles =
-          b.newest > b.rows &&
           (b.newest - b.rows + 1) + window_ <= rows_seen_;
       if (straddles && !include_straddling) continue;
     }

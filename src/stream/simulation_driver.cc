@@ -91,6 +91,27 @@ std::vector<size_t> AssignSites(Router* router, size_t n) {
   return sites;
 }
 
+std::vector<size_t> WindowEnds(size_t n, size_t chunk_elements,
+                               size_t num_sites) {
+  std::vector<size_t> ends;
+  if (n == 0) return ends;
+  const size_t chunk = std::max<size_t>(1, chunk_elements);
+  // Bootstrap round: protocols start with a zero broadcast value (W-hat /
+  // F-hat / tau), which makes every site threshold 0 until the first
+  // Synchronize. A full chunk at threshold 0 would send one message per
+  // arrival; a short first round (~one arrival per site) bounds that
+  // bootstrap traffic to O(num_sites) messages. Part of the fixed
+  // schedule, so determinism across thread counts is unaffected.
+  const size_t bootstrap = std::min(chunk, std::max<size_t>(1, num_sites));
+  size_t begin = 0;
+  while (begin < n) {
+    const size_t end = std::min(n, begin + (begin == 0 ? bootstrap : chunk));
+    ends.push_back(end);
+    begin = end;
+  }
+  return ends;
+}
+
 SimulationDriver::SimulationDriver(const SimulationOptions& options)
     : options_(options), threads_(ResolveThreadCount(options.threads)) {
   if (options_.chunk_elements == 0) options_.chunk_elements = 1;
@@ -130,18 +151,11 @@ void SimulationDriver::RunImpl(Protocol* protocol,
     cursor[s] = c;
   };
 
-  const size_t chunk = options_.chunk_elements;
-  // Bootstrap round: protocols start with a zero broadcast value (W-hat /
-  // F-hat / tau), which makes every site threshold 0 until the first
-  // Synchronize. A full chunk at threshold 0 would send one message per
-  // arrival; a short first round (~one arrival per site) bounds that
-  // bootstrap traffic to O(num_sites) messages. Part of the fixed
-  // schedule, so determinism across thread counts is unaffected.
-  const size_t bootstrap = std::min(chunk, num_sites);
+  // The window schedule (bootstrap + full chunks) is shared with the wire
+  // transport via WindowEnds — see its comment for the bootstrap rationale.
   std::vector<std::future<void>> futures;
-  for (size_t begin = 0; begin < n;) {
-    const size_t end =
-        std::min(n, begin + (begin == 0 ? bootstrap : chunk));
+  for (const size_t end :
+       WindowEnds(n, options_.chunk_elements, num_sites)) {
     if (concurrent && pool_ != nullptr) {
       futures.clear();
       for (size_t s = 0; s < num_sites; ++s) {
@@ -169,7 +183,6 @@ void SimulationDriver::RunImpl(Protocol* protocol,
       for (size_t s = 0; s < num_sites; ++s) advance_site(s, end);
     }
     protocol->Synchronize();
-    begin = end;
   }
 }
 

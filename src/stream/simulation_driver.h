@@ -88,6 +88,15 @@ struct WeightedUpdate {
 /// same assignment across runs).
 std::vector<size_t> AssignSites(Router* router, size_t n);
 
+/// The driver's synchronization-window schedule: the exclusive end index
+/// of every window for an n-arrival stream — one bootstrap window of
+/// min(chunk_elements, num_sites) arrivals, then full chunks of
+/// chunk_elements. Both RunImpl and the wire transport (src/net) run
+/// exactly this schedule, which is what makes a distributed run replay
+/// the in-process oracle bit-identically.
+std::vector<size_t> WindowEnds(size_t n, size_t chunk_elements,
+                               size_t num_sites);
+
 /// Runs protocols over materialized streams with the schedule above.
 class SimulationDriver {
  public:

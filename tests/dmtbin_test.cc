@@ -1,6 +1,9 @@
 // Format-level tests of the .dmtbin row cache: header fields, payload
-// round-trip, and the rejection paths (bad magic, version, truncation).
+// round-trip, the rejection paths (bad magic, version, truncation), the
+// atomic-write guarantee, and the mid-stream short-read degrade.
 #include "data/dmtbin.h"
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -159,6 +162,80 @@ TEST_F(DmtbinTest, RejectsShorterThanHeader) {
   std::string error;
   EXPECT_FALSE(ReadDmtbinInfo(Path(), nullptr, &error));
   EXPECT_NE(error.find("shorter"), std::string::npos);
+}
+
+TEST_F(DmtbinTest, FailedWriteLeavesNoPartialCache) {
+  // Regression: WriteDmtbin used to stream straight into the final path,
+  // so a failed write left a partial file that poisoned every later run.
+  // Point it at a path whose directory does not exist: the write must
+  // fail AND the final path must not appear.
+  const std::string path = Path() + ".no-such-dir/cache.dmtbin";
+  std::string error;
+  EXPECT_FALSE(WriteDmtbin(path, SampleMatrix(), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ReadDmtbinInfo(path, nullptr, nullptr));
+  std::ifstream probe(path, std::ios::binary);
+  EXPECT_FALSE(probe.is_open());
+}
+
+TEST_F(DmtbinTest, SuccessfulWriteLeavesNoTempFile) {
+  ASSERT_TRUE(WriteDmtbin(Path(), SampleMatrix(), nullptr));
+  // The temp file is pid-suffixed next to the final path; after the
+  // rename it must be gone.
+  const std::string tmp = Path() + ".tmp." + std::to_string(::getpid());
+  std::ifstream probe(tmp, std::ios::binary);
+  EXPECT_FALSE(probe.is_open());
+  EXPECT_TRUE(ReadDmtbinInfo(Path(), nullptr, nullptr));
+}
+
+TEST_F(DmtbinTest, OverwriteReplacesWholeFile) {
+  ASSERT_TRUE(WriteDmtbin(Path(), SampleMatrix(), nullptr));
+  const linalg::Matrix smaller = linalg::Matrix::FromRows({{5.0, 6.0}});
+  ASSERT_TRUE(WriteDmtbin(Path(), smaller, nullptr));
+  DmtbinInfo info;
+  ASSERT_TRUE(ReadDmtbinInfo(Path(), &info, nullptr));
+  // The rename swapped in the new file whole — no stale tail from the
+  // larger previous cache survives (which in-place truncless writes had).
+  EXPECT_EQ(info.rows, 1u);
+  EXPECT_EQ(info.dim, 2u);
+}
+
+TEST_F(DmtbinTest, TruncationMidStreamDegradesInsteadOfAborting) {
+  // Regression: a short read in NextChunk() used to hit DMT_CHECK_EQ and
+  // abort the whole process. A file that shrinks after open must instead
+  // end the stream with read_error() set. The payload is made much larger
+  // than the ifstream's internal buffer so the truncation is actually
+  // observed (a tiny file would be fully buffered by the first read).
+  const size_t rows = 4096;
+  const size_t dim = 4;
+  linalg::Matrix big(0, dim);
+  std::vector<double> row(dim);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < dim; ++j) row[j] = static_cast<double>(i + j);
+    big.AppendRow(row);
+  }
+  ASSERT_TRUE(WriteDmtbin(Path(), big, nullptr));
+  DmtbinSource source(Path());
+  ASSERT_TRUE(source.ok());
+
+  linalg::Matrix out;
+  ASSERT_EQ(source.NextChunk(2, &out), 2u);  // first chunk streams fine
+
+  // Shrink the file underneath the open source: drop the last row's
+  // final byte so the remaining bulk read comes up short.
+  std::ifstream in(Path(), std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.close();
+  ASSERT_EQ(::truncate(Path().c_str(), static_cast<off_t>(size - 1)), 0);
+
+  EXPECT_EQ(source.NextChunk(rows, &out), 0u);
+  EXPECT_NE(source.read_error().find("short read"), std::string::npos);
+  EXPECT_EQ(out.rows(), 2u);  // nothing partial was appended
+  // The error latches: later calls keep serving nothing.
+  EXPECT_EQ(source.NextChunk(2, &out), 0u);
+  // Reset clears it (the caller may retry after repairing the cache).
+  source.Reset();
+  EXPECT_TRUE(source.read_error().empty());
 }
 
 TEST_F(DmtbinTest, RejectsUnsupportedVersion) {

@@ -111,6 +111,37 @@ TEST(SlidingWindowFdTest, ConservativeQueryExcludesStraddler) {
   EXPECT_LE(trace_without, trace_with + 1e-9);
 }
 
+TEST(SlidingWindowFdTest, StrictSketchExcludesFrontBlockAnchoredAtRowOne) {
+  // Regression: the straddle check used to require b.newest > b.rows,
+  // which a front block anchored at stream row 1 (newest == rows) never
+  // satisfies. With window=4 and 5 appends the blocks are
+  // [rows 1-2][rows 3-4][row 5]; row 1 has expired, so the front block
+  // straddles and the conservative query must drop it — before the fix it
+  // was always included, leaking expired energy into Sketch(false).
+  const size_t d = 6;
+  SlidingWindowFD sw(4, 8);
+  for (size_t i = 0; i < 5; ++i) {
+    std::vector<double> row(d, 0.0);
+    row[i] = 1.0;
+    sw.Append(row);
+  }
+  ASSERT_EQ(sw.rows_seen(), 5u);
+  ASSERT_EQ(sw.oldest_block_rows(), 2u);
+
+  Matrix strict = sw.Gram(false);
+  Matrix inclusive = sw.Gram(true);
+  // The straddling block (rows 1-2, axes e0/e1) is dropped by the strict
+  // query but present in the inclusive one.
+  EXPECT_NEAR(strict(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(strict(1, 1), 0.0, 1e-12);
+  EXPECT_GT(inclusive(0, 0), 0.5);
+  // Rows 3-5 stay covered either way.
+  for (size_t i = 2; i < 5; ++i) {
+    EXPECT_GT(strict(i, i), 0.5) << "axis " << i;
+    EXPECT_GT(inclusive(i, i), 0.5) << "axis " << i;
+  }
+}
+
 TEST(SlidingWindowFdTest, RowsSeenCounts) {
   SlidingWindowFD sw(10, 2);
   for (int i = 0; i < 7; ++i) sw.Append({1.0});

@@ -4,7 +4,7 @@ Check IDs (stable; used in suppression comments and fixtures):
 
   determinism-banned-call   — RNG / wall-clock / thread-id calls in
                               protocol code (src/stream, src/hh,
-                              src/matrix, src/sketch, src/core)
+                              src/matrix, src/sketch, src/core, src/net)
   determinism-unordered-iter— iterating an unordered container in
                               protocol code (emission order would leak
                               hash-table layout into protocol state)
@@ -29,7 +29,10 @@ import re
 from . import gcc_ast
 from .annotations import BIND_WINDOW
 
-DETERMINISM_DIRS = ("src/stream", "src/hh", "src/matrix", "src/sketch", "src/core")
+DETERMINISM_DIRS = (
+    "src/stream", "src/hh", "src/matrix", "src/sketch", "src/core",
+    "src/net",
+)
 
 _UNORDERED_CLASSES = frozenset(
     ["unordered_map", "unordered_set", "unordered_multimap",
