@@ -60,11 +60,22 @@ namespace bench {
 template <typename Body>
 inline void EmitBenchJson(const char* path, const char* bench_name,
                           Body body) {
+  // dmt-lint: allow(determinism-thread-fp): recorded as metadata only.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool degraded = hw <= 1;
+  if (degraded) {
+    std::fprintf(stderr,
+                 "warning: single hardware thread detected — parallel "
+                 "speedups in this recording are not meaningful\n");
+  }
   const auto emit = [&](FILE* f) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name);
-    std::fprintf(f, "  \"hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+    if (degraded) {
+      std::fprintf(f, "  \"degraded_environment\": \"single hardware "
+                   "thread — speedups not meaningful\",\n");
+    }
     std::fprintf(f, "  \"scale\": \"%s\",\n",
                  GetEnvString("DMT_SCALE", "default").c_str());
     body(f);

@@ -1,10 +1,27 @@
-// Serial-vs-parallel speedup of the multi-site simulation engine.
+// Serial-vs-parallel speedup and site-count scaling of the multi-site
+// simulation engine.
 //
-// Runs a fixed heavy-hitter workload (P2) and a fixed matrix workload
-// (MP1, the FD-heavy site phase) through stream::SimulationDriver at
-// 1/2/4/8 threads, verifies the runs are bit-identical (total message
-// count acts as the cheap fingerprint; the full guarantee is covered by
-// tests/simulation_driver_test), and reports wall-clock speedups as JSON.
+// Two sections:
+//
+//  - Fixed workloads: a heavy-hitter stream (P2, hash-map bound site
+//    phase) and a matrix row stream (MP1, FD compute bound) through
+//    stream::SimulationDriver at 1/2/4/8 requested threads, verifying
+//    bit-identical results across counts (messages + the coordinator's
+//    total-weight / Frobenius fingerprint) and reporting wall-clock
+//    speedups.
+//
+//  - m-sweep: P2 at m = 10^3..10^5 sites (10^4 at DMT_SCALE=small, 10^6
+//    at DMT_SCALE=paper) with
+//    ~10 arrivals per site, exercising the batch-reservation scheduler
+//    where the old one-task-per-site driver drowned (m pool round-trips
+//    and O(m) drain scans per window). Each point records the driver's
+//    SchedulerStats counters — windows, batches reserved, mean sites per
+//    batch, targeted drains vs full-scan drain stalls.
+//
+// Every run records both the requested and the effective thread count
+// (ResolveThreadCount clamps at 4x the hardware threads); on a
+// single-hardware-thread machine the JSON carries a degraded_environment
+// marker and speedups are not meaningful.
 //
 // Usage: parallel_sites [output.json] [--threads ignored]
 //   DMT_SCALE=small|default|paper scales the stream lengths.
@@ -31,27 +48,58 @@ namespace {
 using namespace dmt;
 
 struct RunPoint {
-  size_t threads;
+  size_t threads;            // requested
+  size_t effective_threads;  // after DMT_THREADS / clamp resolution
   double seconds;
   uint64_t messages;
+  double fingerprint;  // coordinator total weight (bit-compared)
+  stream::SchedulerStats sched;
 };
 
-// Best-of-3 wall clock for one driver configuration.
+// Coordinator-state fingerprint, bit-compared across thread counts (the
+// full bit-identity guarantee is covered by tests/simulation_driver_test
+// and tests/parallel_scale_test).
+inline double Fingerprint(const hh::P2Threshold& p) {
+  return p.EstimateTotalWeight();
+}
+inline double Fingerprint(const matrix::MP1BatchedFD& p) {
+  return p.coordinator_frobenius();
+}
+
+// Best-of-`reps` wall clock for one driver configuration.
 template <typename MakeProtocol, typename Items>
 RunPoint TimeRun(MakeProtocol make, const std::vector<size_t>& sites,
-                 const Items& items, size_t threads, size_t chunk) {
-  RunPoint point{threads, 1e100, 0};
-  for (int rep = 0; rep < 3; ++rep) {
+                 const Items& items, size_t threads, size_t chunk,
+                 int reps = 3) {
+  RunPoint point{threads, 0, 1e100, 0, 0.0, {}};
+  for (int rep = 0; rep < reps; ++rep) {
     auto protocol = make();
-    stream::SimulationDriver driver(
-        stream::SimulationOptions{threads, chunk});
+    stream::SimulationOptions opt;
+    opt.threads = threads;
+    opt.chunk_elements = chunk;
+    stream::SimulationDriver driver(opt);
     Timer timer;
     driver.Run(&protocol, sites, items);
     const double s = timer.Seconds();
     if (s < point.seconds) point.seconds = s;
+    point.effective_threads = driver.threads();
     point.messages = protocol.comm_stats().total();
+    point.fingerprint = Fingerprint(protocol);
+    point.sched = driver.scheduler_stats();
   }
   return point;
+}
+
+void PrintSched(FILE* f, const stream::SchedulerStats& s) {
+  std::fprintf(f,
+               "\"windows\": %llu, \"batches_reserved\": %llu, "
+               "\"mean_sites_per_batch\": %.1f, \"targeted_drains\": %llu, "
+               "\"drain_stalls\": %llu",
+               static_cast<unsigned long long>(s.windows),
+               static_cast<unsigned long long>(s.batches_reserved),
+               s.mean_sites_per_batch(),
+               static_cast<unsigned long long>(s.targeted_drains),
+               static_cast<unsigned long long>(s.drain_stalls));
 }
 
 void PrintWorkload(FILE* f, const char* name, size_t n, size_t m,
@@ -64,11 +112,13 @@ void PrintWorkload(FILE* f, const char* name, size_t n, size_t m,
   std::fprintf(f, "      \"runs\": [\n");
   const double serial = points[0].seconds;
   for (size_t i = 0; i < points.size(); ++i) {
-    std::fprintf(
-        f,
-        "        {\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.3f}%s\n",
-        points[i].threads, points[i].seconds, serial / points[i].seconds,
-        i + 1 < points.size() ? "," : "");
+    std::fprintf(f,
+                 "        {\"threads\": %zu, \"effective_threads\": %zu, "
+                 "\"seconds\": %.6f, \"speedup\": %.3f, ",
+                 points[i].threads, points[i].effective_threads,
+                 points[i].seconds, serial / points[i].seconds);
+    PrintSched(f, points[i].sched);
+    std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "      ]\n");
   std::fprintf(f, "    }%s\n", last ? "" : ",");
@@ -106,6 +156,7 @@ int main(int argc, char** argv) {
         [&] { return hh::P2Threshold(hh_m, 0.01); }, hh_sites, items, t,
         8192));
     DMT_CHECK_EQ(hh_points.back().messages, hh_points.front().messages);
+    DMT_CHECK_EQ(hh_points.back().fingerprint, hh_points.front().fingerprint);
   }
 
   // Matrix: MP1 over a PAMAP-like row stream (FD compute bound site phase).
@@ -121,18 +172,85 @@ int main(int argc, char** argv) {
   std::vector<RunPoint> mx_points;
   for (size_t t : thread_counts) {
     mx_points.push_back(TimeRun(
-        [&] { return matrix::MP1BatchedFD(mx_m, 0.1); }, mx_sites, rows, t,
-        4096));
+        [&] {
+          return matrix::MP1BatchedFD(mx_m, 0.1);
+        },
+        mx_sites, rows, t, 4096,
+        /*reps=*/3));
     DMT_CHECK_EQ(mx_points.back().messages, mx_points.front().messages);
+    DMT_CHECK_EQ(mx_points.back().fingerprint, mx_points.front().fingerprint);
+  }
+
+  // m-sweep: P2 at large site counts, ~10 arrivals per site. This is the
+  // regime the batch-reservation scheduler exists for; the counters show
+  // how the windows were carved up. Timings use one rep (the sweep is
+  // about scaling shape and counters, not best-case latency) and threads
+  // {1, 4} — enough to see the scheduler operate without multiplying the
+  // bench time.
+  // Scale gates the sweep's upper end: small (CI smoke) stops at 10^4,
+  // default records through 10^5 (the regime the scheduler targets),
+  // paper adds the 10^6 point.
+  const Scale scale = GetScale();
+  std::vector<size_t> sweep_ms = {1000, 10000};
+  if (scale != Scale::kSmall) sweep_ms.push_back(100000);
+  if (scale == Scale::kPaper) sweep_ms.push_back(1000000);
+  const std::vector<size_t> sweep_threads = {1, 4};
+
+  struct SweepPoint {
+    size_t m;
+    size_t n;
+    std::vector<RunPoint> runs;
+  };
+  std::vector<SweepPoint> sweep;
+  for (size_t m : sweep_ms) {
+    const size_t n = 10 * m;
+    data::ZipfianStream sz(100000, 1.5, 100.0, 31);
+    std::vector<stream::WeightedUpdate> sitems(n);
+    for (auto& it : sitems) {
+      data::WeightedItem w = sz.Next();
+      it = stream::WeightedUpdate{w.element, w.weight};
+    }
+    stream::Router sr(m, stream::RoutingPolicy::kUniform, 32);
+    const std::vector<size_t> ssites = stream::AssignSites(&sr, n);
+
+    SweepPoint point{m, n, {}};
+    for (size_t t : sweep_threads) {
+      point.runs.push_back(TimeRun(
+          [&] { return hh::P2Threshold(m, 0.05); }, ssites, sitems, t, 8192,
+          /*reps=*/1));
+      DMT_CHECK_EQ(point.runs.back().messages, point.runs.front().messages);
+      DMT_CHECK_EQ(point.runs.back().fingerprint,
+                   point.runs.front().fingerprint);
+    }
+    sweep.push_back(std::move(point));
   }
 
   bench::EmitBenchJson(out_path, "parallel_sites", [&](FILE* f) {
-    std::fprintf(f, "  \"determinism_check\": \"messages identical across "
-                 "thread counts\",\n");
+    std::fprintf(f, "  \"determinism_check\": \"messages and coordinator "
+                 "fingerprint identical across thread counts\",\n");
     std::fprintf(f, "  \"workloads\": {\n");
     PrintWorkload(f, "hh_p2_zipf", hh_n, hh_m, hh_points, false);
     PrintWorkload(f, "matrix_mp1_pamap", mx_n, mx_m, mx_points, true);
-    std::fprintf(f, "  }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"m_sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& p = sweep[i];
+      std::fprintf(f, "    {\"num_sites\": %zu, \"stream_len\": %zu, "
+                   "\"messages\": %llu, \"runs\": [\n",
+                   p.m, p.n,
+                   static_cast<unsigned long long>(p.runs[0].messages));
+      for (size_t j = 0; j < p.runs.size(); ++j) {
+        std::fprintf(f,
+                     "      {\"threads\": %zu, \"effective_threads\": %zu, "
+                     "\"seconds\": %.6f, ",
+                     p.runs[j].threads, p.runs[j].effective_threads,
+                     p.runs[j].seconds);
+        PrintSched(f, p.runs[j].sched);
+        std::fprintf(f, "}%s\n", j + 1 < p.runs.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]}%s\n", i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
   });
   return 0;
 }

@@ -29,6 +29,10 @@ void ExactTracker::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
+void ExactTracker::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
+}
+
 double ExactTracker::EstimateElementWeight(uint64_t element) const {
   auto it = weights_.find(element);
   return it == weights_.end() ? 0.0 : it->second;

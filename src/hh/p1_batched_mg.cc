@@ -82,6 +82,10 @@ void P1BatchedMG::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
+void P1BatchedMG::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
+}
+
 std::vector<P1BatchedMG::PendingFlush> P1BatchedMG::TakePendingFlushes(
     size_t site) {
   DMT_CHECK_LT(site, outbox_.size());

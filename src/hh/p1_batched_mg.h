@@ -33,6 +33,11 @@ class P1BatchedMG : public HeavyHitterProtocol {
   void Process(size_t site, uint64_t element, double weight) override;
   void SiteUpdate(size_t site, uint64_t element, double weight) override;
   void Synchronize() override;
+  void SynchronizeSites(const uint32_t* sites, size_t count) override;
+  bool SupportsTargetedDrain() const override { return true; }
+  size_t PendingOutboxSize(size_t site) const override {
+    return outbox_[site].size();
+  }
   bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;

@@ -102,6 +102,10 @@ void P2Threshold::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
+void P2Threshold::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
+}
+
 double P2Threshold::EstimateElementWeight(uint64_t element) const {
   auto it = coordinator_weights_.find(element);
   return it == coordinator_weights_.end() ? 0.0 : it->second;

@@ -21,6 +21,7 @@
 #include "hh/hh_protocol.h"
 #include "sketch/space_saving.h"
 #include "stream/network.h"
+#include "util/aligned.h"
 
 namespace dmt {
 namespace hh {
@@ -43,6 +44,11 @@ class P2Threshold : public HeavyHitterProtocol {
   void Process(size_t site, uint64_t element, double weight) override;
   void SiteUpdate(size_t site, uint64_t element, double weight) override;
   void Synchronize() override;
+  void SynchronizeSites(const uint32_t* sites, size_t count) override;
+  bool SupportsTargetedDrain() const override { return true; }
+  size_t PendingOutboxSize(size_t site) const override {
+    return outbox_[site].size();
+  }
   bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;
@@ -69,15 +75,19 @@ class P2Threshold : public HeavyHitterProtocol {
   double eps_;
   P2Options options_;
   stream::Network network_;
-  // Per-site state. With bounded space, `site_summary_` replaces the exact
-  // delta map (only one of the two is populated per run).
-  std::vector<double> site_weight_;  // W_i since last scalar report
+  // Per-site state, SoA. The scalar-hot arrays (every SiteUpdate reads
+  // and often writes both) are cache-line-aligned: with the driver's
+  // batch-reservation scheduler handing each worker a contiguous site
+  // range, workers then touch disjoint line ranges except at the two
+  // range boundaries. With bounded space, `site_summary_` replaces the
+  // exact delta map (only one of the two is populated per run).
+  CacheAlignedVector<double> site_weight_;  // W_i since last scalar report
   std::vector<std::unordered_map<uint64_t, double>> site_delta_;
   std::vector<sketch::SpaceSaving> site_summary_;
   // Bounded-space mode: cumulative weight already reported per element
   // (only elements that crossed the threshold ever get an entry).
   std::vector<std::unordered_map<uint64_t, double>> site_reported_;
-  std::vector<double> site_west_;    // W-hat known at the site
+  CacheAlignedVector<double> site_west_;    // W-hat known at the site
   std::vector<std::vector<PendingReport>> outbox_;  // per-site, FIFO
   // Coordinator state.
   std::unordered_map<uint64_t, double> coordinator_weights_;

@@ -70,6 +70,10 @@ void P3SamplingWoR::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
+void P3SamplingWoR::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
+}
+
 void P3SamplingWoR::EndRoundIfNeeded() {
   while (q_next_.size() >= s_) {
     tau_ *= 2.0;
@@ -207,6 +211,10 @@ void P3SamplingWR::DrainSite(size_t site) {
 
 void P3SamplingWR::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
+}
+
+void P3SamplingWR::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
 }
 
 void P3SamplingWR::EndRoundIfNeeded() {

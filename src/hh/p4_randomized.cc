@@ -76,17 +76,23 @@ void P4Randomized::SiteUpdate(size_t site, uint64_t element, double weight) {
   EmitSends(site, element, weight, tally, &outbox_[site]);
 }
 
-void P4Randomized::Synchronize() {
-  for (auto& site_outbox : outbox_) {
-    for (const PendingReport& r : site_outbox) {
-      if (r.is_weight_report) {
-        weight_tracker_.ApplyReport(r.value);
-      } else {
-        reported_[r.copy][r.element][r.site] = r.value;
-      }
+void P4Randomized::DrainSite(size_t site) {
+  for (const PendingReport& r : outbox_[site]) {
+    if (r.is_weight_report) {
+      weight_tracker_.ApplyReport(r.value);
+    } else {
+      reported_[r.copy][r.element][r.site] = r.value;
     }
-    site_outbox.clear();
   }
+  outbox_[site].clear();
+}
+
+void P4Randomized::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
+}
+
+void P4Randomized::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
 }
 
 double P4Randomized::CopyEstimate(size_t copy, uint64_t element) const {

@@ -43,6 +43,11 @@ class P4Randomized : public HeavyHitterProtocol {
   void Process(size_t site, uint64_t element, double weight) override;
   void SiteUpdate(size_t site, uint64_t element, double weight) override;
   void Synchronize() override;
+  void SynchronizeSites(const uint32_t* sites, size_t count) override;
+  bool SupportsTargetedDrain() const override { return true; }
+  size_t PendingOutboxSize(size_t site) const override {
+    return outbox_[site].size();
+  }
   bool SupportsConcurrentSiteUpdates() const override { return true; }
   double EstimateElementWeight(uint64_t element) const override;
   double EstimateTotalWeight() const override;
@@ -75,6 +80,9 @@ class P4Randomized : public HeavyHitterProtocol {
   /// (serial path).
   void EmitSends(size_t site, uint64_t element, double weight, double tally,
                  std::vector<PendingReport>* sink);
+
+  /// Delivers one site's queued reports in emission order.
+  void DrainSite(size_t site);
 
   /// Estimate of one independent copy.
   double CopyEstimate(size_t copy, uint64_t element) const;

@@ -32,6 +32,18 @@ void NaiveFdBaseline::Synchronize() {
   fd_.AppendRows(batch);
 }
 
+void NaiveFdBaseline::SynchronizeSites(const uint32_t* sites, size_t count) {
+  // Sites absent from the list have empty outboxes, so this builds the
+  // same ascending-site batch as the full scan.
+  linalg::Matrix batch;
+  for (size_t i = 0; i < count; ++i) {
+    auto& site_outbox = outbox_[sites[i]];
+    for (const auto& row : site_outbox) batch.AppendRow(row);
+    site_outbox.clear();
+  }
+  fd_.AppendRows(batch);
+}
+
 linalg::Matrix NaiveFdBaseline::CoordinatorSketch() const {
   return fd_.sketch();
 }
@@ -60,6 +72,18 @@ void NaiveSvdBaseline::Synchronize() {
   // rank-1 sweep per row.
   linalg::Matrix batch;
   for (auto& site_outbox : outbox_) {
+    for (const auto& row : site_outbox) batch.AppendRow(row);
+    site_outbox.clear();
+  }
+  cov_.AddRows(batch);
+}
+
+void NaiveSvdBaseline::SynchronizeSites(const uint32_t* sites, size_t count) {
+  // Same ascending-site batch as the full scan (unlisted outboxes are
+  // empty by the driver's contract).
+  linalg::Matrix batch;
+  for (size_t i = 0; i < count; ++i) {
+    auto& site_outbox = outbox_[sites[i]];
     for (const auto& row : site_outbox) batch.AppendRow(row);
     site_outbox.clear();
   }

@@ -61,6 +61,36 @@ class MatrixTrackingProtocol {
   /// default SiteUpdate, which delivers immediately).
   virtual void Synchronize() {}
 
+  /// Targeted coordinator half: drains exactly the listed sites' outboxes,
+  /// in the given order. The driver passes the ascending-sorted set of
+  /// sites whose outboxes are non-empty (collected from the workers'
+  /// per-lane publication buffers), so this applies the exact total order
+  /// of Synchronize() — ascending site, emission order within a site —
+  /// without the O(num_sites) scan. Equivalence requires every unlisted
+  /// site's outbox to be empty. Same threading contract as Synchronize().
+  /// Default: full Synchronize() scan (always correct).
+  virtual void SynchronizeSites(const uint32_t* sites, size_t count) {
+    (void)sites;
+    (void)count;
+    Synchronize();
+  }
+
+  /// True when SynchronizeSites() implements a real targeted drain. The
+  /// driver then skips the full scan; otherwise every window costs one
+  /// all-sites Synchronize() (counted as a drain stall in
+  /// stream::SchedulerStats).
+  virtual bool SupportsTargetedDrain() const { return false; }
+
+  /// Messages queued in `site`'s outbox awaiting the next drain. Workers
+  /// call this right after the site's last SiteUpdate of a window to
+  /// decide whether to publish the site for draining — same concurrency
+  /// contract as SiteUpdate (distinct sites from distinct threads).
+  /// Default: SIZE_MAX, "unknown — always publish".
+  virtual size_t PendingOutboxSize(size_t site) const {
+    (void)site;
+    return SIZE_MAX;
+  }
+
   /// True when SiteUpdate() touches only per-site state and may therefore
   /// run concurrently for distinct sites.
   virtual bool SupportsConcurrentSiteUpdates() const { return false; }

@@ -77,6 +77,10 @@ void MP1BatchedFD::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
+void MP1BatchedFD::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
+}
+
 linalg::Matrix MP1BatchedFD::CoordinatorSketch() const {
   return coordinator_sketch_.sketch();
 }

@@ -103,17 +103,23 @@ void MP2SvdThreshold::SiteUpdate(size_t site,
   ElementPhase(site, row, w, &outbox_[site]);
 }
 
-void MP2SvdThreshold::Synchronize() {
-  for (auto& site_outbox : outbox_) {
-    for (const PendingMsg& msg : site_outbox) {
-      if (msg.is_scalar) {
-        ApplyScalar(msg.value);
-      } else {
-        coord_gram_.AddOuterProduct(msg.value, msg.dir);
-      }
+void MP2SvdThreshold::DrainSite(size_t site) {
+  for (const PendingMsg& msg : outbox_[site]) {
+    if (msg.is_scalar) {
+      ApplyScalar(msg.value);
+    } else {
+      coord_gram_.AddOuterProduct(msg.value, msg.dir);
     }
-    site_outbox.clear();
   }
+  outbox_[site].clear();
+}
+
+void MP2SvdThreshold::Synchronize() {
+  for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
+}
+
+void MP2SvdThreshold::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
 }
 
 std::vector<MP2SvdThreshold::PendingMsg> MP2SvdThreshold::TakePendingMessages(

@@ -59,6 +59,11 @@ class MP2SvdThreshold : public MatrixTrackingProtocol {
   void ProcessRow(size_t site, const std::vector<double>& row) override;
   void SiteUpdate(size_t site, const std::vector<double>& row) override;
   void Synchronize() override;
+  void SynchronizeSites(const uint32_t* sites, size_t count) override;
+  bool SupportsTargetedDrain() const override { return true; }
+  size_t PendingOutboxSize(size_t site) const override {
+    return outbox_[site].size();
+  }
   bool SupportsConcurrentSiteUpdates() const override { return true; }
   /// Rows sqrt(lambda_i) v_i^T reconstructed from the coordinator's exact
   /// Gram of all received directions.
@@ -125,6 +130,8 @@ class MP2SvdThreshold : public MatrixTrackingProtocol {
     linalg::Matrix vecs;
   };
 
+  // Delivers one site's queued messages in emission order.
+  void DrainSite(size_t site);
   // Lazy structural init from the first row (thread-safe via dim_once_).
   void EnsureDim(const std::vector<double>& row);
   // Site half of the total-mass report: returns the amount to deliver

@@ -54,6 +54,10 @@ void MP3SamplingWoR::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
 }
 
+void MP3SamplingWoR::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
+}
+
 void MP3SamplingWoR::EndRoundIfNeeded() {
   while (q_next_.size() >= s_) {
     tau_ *= 2.0;
@@ -188,6 +192,10 @@ void MP3SamplingWR::DrainSite(size_t site) {
 
 void MP3SamplingWR::Synchronize() {
   for (size_t s = 0; s < outbox_.size(); ++s) DrainSite(s);
+}
+
+void MP3SamplingWR::SynchronizeSites(const uint32_t* sites, size_t count) {
+  for (size_t i = 0; i < count; ++i) DrainSite(sites[i]);
 }
 
 void MP3SamplingWR::EndRoundIfNeeded() {

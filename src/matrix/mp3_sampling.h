@@ -41,6 +41,11 @@ class MP3SamplingWoR : public MatrixTrackingProtocol {
   void ProcessRow(size_t site, const std::vector<double>& row) override;
   void SiteUpdate(size_t site, const std::vector<double>& row) override;
   void Synchronize() override;
+  void SynchronizeSites(const uint32_t* sites, size_t count) override;
+  bool SupportsTargetedDrain() const override { return true; }
+  size_t PendingOutboxSize(size_t site) const override {
+    return outbox_[site].size();
+  }
   bool SupportsConcurrentSiteUpdates() const override { return true; }
   linalg::Matrix CoordinatorSketch() const override;
   const stream::CommStats& comm_stats() const override;
@@ -85,6 +90,11 @@ class MP3SamplingWR : public MatrixTrackingProtocol {
   void ProcessRow(size_t site, const std::vector<double>& row) override;
   void SiteUpdate(size_t site, const std::vector<double>& row) override;
   void Synchronize() override;
+  void SynchronizeSites(const uint32_t* sites, size_t count) override;
+  bool SupportsTargetedDrain() const override { return true; }
+  size_t PendingOutboxSize(size_t site) const override {
+    return outbox_[site].size();
+  }
   bool SupportsConcurrentSiteUpdates() const override { return true; }
   linalg::Matrix CoordinatorSketch() const override;
   const stream::CommStats& comm_stats() const override;

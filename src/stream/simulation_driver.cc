@@ -1,11 +1,11 @@
 #include "stream/simulation_driver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <future>
 #include <limits>
 #include <thread>
 
@@ -28,10 +28,6 @@ inline void ApplyItem(matrix::MatrixTrackingProtocol* p, size_t site,
   p->SiteUpdate(site, row);
 }
 
-}  // namespace
-
-namespace {
-
 // Full-consumption parse (like GetEnvInt): "12abc", "", and negatives are
 // rejected with a warning rather than silently becoming a number — a bad
 // --chunk value would otherwise silently run a very different schedule.
@@ -45,6 +41,32 @@ size_t ParseSizeValueOr(const char* flag, const char* value,
     return fallback;
   }
   return static_cast<size_t>(parsed);
+}
+
+// Strict thread-count parse: positive integer or die. Unlike the sizes
+// above there is no safe fallback — "--threads 0" silently running the
+// hardware default would invalidate whatever comparison the caller was
+// setting up.
+size_t ParseStrictThreadValue(const char* what, const char* value) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || std::strchr(value, '-') != nullptr ||
+      parsed == 0) {
+    std::fprintf(stderr,
+                 "error: %s=%s is not a positive integer; "
+                 "use a count >= 1 (or unset it for the hardware default)\n",
+                 what, value);
+    std::exit(2);
+  }
+  return static_cast<size_t>(parsed);
+}
+
+size_t HardwareThreads() {
+  // dmt-lint: allow(determinism-thread-fp): pool sizing only — the window
+  // schedule and drain order are fixed regardless of pool size, so results
+  // are identical for any count (simulation_driver_test, parallel_scale_test).
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
 }
 
 }  // namespace
@@ -65,7 +87,18 @@ size_t ParseSizeArg(int argc, char** argv, const char* flag,
 }
 
 size_t ParseThreadsArg(int argc, char** argv) {
-  return ParseSizeArg(argc, argv, "--threads", 0);
+  const char* flag = "--threads";
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, flag) == 0 && i + 1 < argc) {
+      return ParseStrictThreadValue(flag, argv[i + 1]);
+    }
+    if (std::strncmp(arg, flag, flag_len) == 0 && arg[flag_len] == '=') {
+      return ParseStrictThreadValue(flag, arg + flag_len + 1);
+    }
+  }
+  return 0;  // absent: auto (ResolveThreadCount)
 }
 
 size_t ParseChunkArg(int argc, char** argv, size_t fallback) {
@@ -73,16 +106,31 @@ size_t ParseChunkArg(int argc, char** argv, size_t fallback) {
 }
 
 size_t ResolveThreadCount(size_t requested) {
-  if (requested > 0) return requested;
-  const int64_t env = GetEnvInt("DMT_THREADS", 0);
-  if (env > 0) return static_cast<size_t>(env);
-  // Thread count only sizes the worker pool; RunImpl's chunk schedule and
-  // coordinator drain order are fixed regardless of pool size, so protocol
-  // state and messages are identical for any count (covered by
-  // parallel_determinism_test).
-  // dmt-lint: allow(determinism-thread-fp): pool sizing only, see above.
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<size_t>(hc);
+  size_t resolved;
+  if (requested > 0) {
+    resolved = requested;
+  } else {
+    const std::string env = GetEnvString("DMT_THREADS", "");
+    if (!env.empty()) {
+      resolved = ParseStrictThreadValue("DMT_THREADS", env.c_str());
+    } else {
+      resolved = HardwareThreads();
+    }
+  }
+  // Oversubscription cap: beyond ~4x the hardware threads the extra lanes
+  // only add context-switch noise. Results are unaffected (the schedule,
+  // not the lane count, defines the semantics), so clamping is safe — but
+  // say so, because the caller asked for something else.
+  const size_t cap = 4 * HardwareThreads();
+  if (resolved > cap) {
+    std::fprintf(stderr,
+                 "warning: clamping thread count %zu to %zu (4x the %zu "
+                 "hardware threads); results are identical by the driver's "
+                 "determinism guarantee\n",
+                 resolved, cap, cap / 4);
+    resolved = cap;
+  }
+  return resolved;
 }
 
 std::vector<size_t> AssignSites(Router* router, size_t n) {
@@ -116,9 +164,86 @@ SimulationDriver::SimulationDriver(const SimulationOptions& options)
     : options_(options), threads_(ResolveThreadCount(options.threads)) {
   if (options_.chunk_elements == 0) options_.chunk_elements = 1;
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  lanes_.resize(std::max<size_t>(threads_, 1));
 }
 
 SimulationDriver::~SimulationDriver() = default;
+
+template <typename Protocol, typename Apply>
+void SimulationDriver::ExecuteWindow(Protocol* protocol, bool concurrent,
+                                     const Apply& apply) {
+  const size_t k = plan_.active_count();
+  ++stats_.windows;
+
+  // One active slot: run its arrivals in stream order, then publish the
+  // site for draining if its outbox is non-empty. PendingOutboxSize reads
+  // only the site's own queue (same concurrency contract as SiteUpdate),
+  // and SIZE_MAX — "unknown" — publishes unconditionally, which is always
+  // safe: draining an empty site is a no-op in every protocol.
+  const auto run_slot = [&](size_t p, WorkerLane& lane) {
+    const uint32_t site = plan_.site_at(p);
+    size_t len = 0;
+    const uint32_t* rel = plan_.arrivals(p, &len);
+    for (size_t j = 0; j < len; ++j) apply(site, rel[j], lane);
+    if (protocol->PendingOutboxSize(site) > 0) lane.pending.push_back(site);
+  };
+
+  if (concurrent && pool_ != nullptr && k > 0) {
+    const size_t nlanes = lanes_.size();
+    const size_t batch =
+        ReservationBatchSize(k, nlanes, options_.sites_per_batch);
+    std::atomic<size_t> cursor{0};
+    // Exactly nlanes lane executions per window, each claiming contiguous
+    // ascending ranges of the active list until the cursor runs dry. The
+    // RunBatch barrier makes all site work happen-before the drain below.
+    pool_->RunBatch(nlanes, [&](size_t lane_id) {
+      WorkerLane& lane = lanes_[lane_id];
+      lane.pending.clear();
+      lane.batches = 0;
+      lane.sites = 0;
+      for (;;) {
+        const size_t begin =
+            cursor.fetch_add(batch, std::memory_order_relaxed);
+        if (begin >= k) break;
+        const size_t end = std::min(k, begin + batch);
+        ++lane.batches;
+        for (size_t p = begin; p < end; ++p) {
+          run_slot(p, lane);
+          ++lane.sites;
+        }
+      }
+    });
+    for (const WorkerLane& lane : lanes_) {
+      stats_.batches_reserved += lane.batches;
+      stats_.sites_scheduled += lane.sites;
+    }
+  } else {
+    WorkerLane& lane = lanes_[0];
+    lane.pending.clear();
+    for (size_t p = 0; p < k; ++p) run_slot(p, lane);
+    if (k > 0) ++stats_.batches_reserved;
+    stats_.sites_scheduled += k;
+    for (size_t i = 1; i < lanes_.size(); ++i) lanes_[i].pending.clear();
+  }
+
+  // Coordinator drain. Each lane's pending buffer is ascending (monotone
+  // cursor over an ascending active list, ascending within a batch), and
+  // a site appears in at most one lane, so one sort of the concatenation
+  // reproduces the full scan's ascending-site total order exactly.
+  if (protocol->SupportsTargetedDrain()) {
+    drain_sites_.clear();
+    for (const WorkerLane& lane : lanes_) {
+      drain_sites_.insert(drain_sites_.end(), lane.pending.begin(),
+                          lane.pending.end());
+    }
+    std::sort(drain_sites_.begin(), drain_sites_.end());
+    ++stats_.targeted_drains;
+    protocol->SynchronizeSites(drain_sites_.data(), drain_sites_.size());
+  } else {
+    ++stats_.drain_stalls;
+    protocol->Synchronize();
+  }
+}
 
 template <typename Protocol, typename Item>
 void SimulationDriver::RunImpl(Protocol* protocol,
@@ -126,63 +251,26 @@ void SimulationDriver::RunImpl(Protocol* protocol,
                                const std::vector<Item>& items,
                                bool concurrent) {
   DMT_CHECK_EQ(sites.size(), items.size());
+  stats_ = SchedulerStats{};
   const size_t n = items.size();
   if (n == 0) return;
   DMT_CHECK_LE(n, std::numeric_limits<uint32_t>::max());
 
-  // Partition: per-site arrival index lists, in stream order.
   size_t num_sites = 0;
   for (size_t s : sites) num_sites = std::max(num_sites, s + 1);
-  std::vector<std::vector<uint32_t>> per_site(num_sites);
-  for (size_t i = 0; i < n; ++i) {
-    per_site[sites[i]].push_back(static_cast<uint32_t>(i));
-  }
-
-  // cursor[s]: next unprocessed position in per_site[s]. Each entry is
-  // written only by site s's task within a chunk.
-  std::vector<size_t> cursor(num_sites, 0);
-  const auto advance_site = [&](size_t s, size_t end) {
-    const std::vector<uint32_t>& idx = per_site[s];
-    size_t c = cursor[s];
-    while (c < idx.size() && idx[c] < end) {
-      ApplyItem(protocol, s, items[idx[c]]);
-      ++c;
-    }
-    cursor[s] = c;
-  };
+  plan_.Reset(num_sites);
 
   // The window schedule (bootstrap + full chunks) is shared with the wire
   // transport via WindowEnds — see its comment for the bootstrap rationale.
-  std::vector<std::future<void>> futures;
+  size_t begin = 0;
   for (const size_t end :
        WindowEnds(n, options_.chunk_elements, num_sites)) {
-    if (concurrent && pool_ != nullptr) {
-      futures.clear();
-      for (size_t s = 0; s < num_sites; ++s) {
-        // Skip sites with no arrivals in this window: no task, no state
-        // touched — exactly what the serial loop does.
-        const std::vector<uint32_t>& idx = per_site[s];
-        if (cursor[s] >= idx.size() || idx[cursor[s]] >= end) continue;
-        futures.push_back(
-            pool_->Submit([&advance_site, s, end] { advance_site(s, end); }));
-      }
-      // The pool barrier: site work of this chunk happens-before the
-      // coordinator drain below (and before any aggregate stats read).
-      // Every future is awaited even when one throws — unwinding early
-      // would destroy cursor/per_site while sibling tasks still use them.
-      std::exception_ptr first_error;
-      for (auto& f : futures) {
-        try {
-          f.get();
-        } catch (...) {
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-      if (first_error) std::rethrow_exception(first_error);
-    } else {
-      for (size_t s = 0; s < num_sites; ++s) advance_site(s, end);
-    }
-    protocol->Synchronize();
+    plan_.Build(sites.data() + begin, end - begin);
+    ExecuteWindow(protocol, concurrent,
+                  [&](uint32_t site, uint32_t rel, WorkerLane&) {
+                    ApplyItem(protocol, site, items[begin + rel]);
+                  });
+    begin = end;
   }
 }
 
@@ -213,17 +301,18 @@ size_t SimulationDriver::Run(matrix::MatrixTrackingProtocol* protocol,
   const bool concurrent =
       protocol->SupportsConcurrentSiteUpdates() && pool_ != nullptr;
   const size_t chunk = options_.chunk_elements;
-  // Same bootstrap rationale as RunImpl: a short first round bounds the
+  // Same bootstrap rationale as WindowEnds: a short first round bounds the
   // zero-threshold startup traffic to O(num_sites). RunImpl derives
   // num_sites from the materialized assignment (max site + 1); here the
   // router declares it up front — identical once every site receives at
   // least one arrival.
   const size_t bootstrap = std::min(chunk, num_sites);
 
-  linalg::Matrix window;                       // rows of the current window
-  std::vector<size_t> sites;                   // site of window row i
-  std::vector<std::vector<uint32_t>> per_site(num_sites);
-  std::vector<std::future<void>> futures;
+  stats_ = SchedulerStats{};
+  plan_.Reset(num_sites);
+
+  linalg::Matrix window;      // rows of the current window
+  std::vector<size_t> sites;  // site of window row i
   size_t fed = 0;
   bool first = true;
   while (max_rows == 0 || fed < max_rows) {
@@ -235,46 +324,24 @@ size_t SimulationDriver::Run(matrix::MatrixTrackingProtocol* protocol,
     DMT_CHECK_LE(got, std::numeric_limits<uint32_t>::max());
 
     sites.resize(got);
-    for (auto& list : per_site) list.clear();
     for (size_t i = 0; i < got; ++i) {
       sites[i] = router->NextSite();
       DMT_CHECK_LT(sites[i], num_sites);
-      per_site[sites[i]].push_back(static_cast<uint32_t>(i));
     }
+    plan_.Build(sites.data(), got);
 
     // Site phase: within the window each site processes exactly its
-    // arrivals in stream order, touching only per-site state — the same
-    // contract as RunImpl's chunk loop.
-    const auto run_site = [&](size_t s) {
-      std::vector<double> site_row(window.cols());
-      for (uint32_t i : per_site[s]) {
-        std::memcpy(site_row.data(), window.Row(i),
-                    window.cols() * sizeof(double));
-        protocol->SiteUpdate(s, site_row);
-      }
-    };
-    if (concurrent) {
-      futures.clear();
-      for (size_t s = 0; s < num_sites; ++s) {
-        if (per_site[s].empty()) continue;
-        futures.push_back(pool_->Submit([&run_site, s] { run_site(s); }));
-      }
-      // Await every task even when one throws (see RunImpl).
-      std::exception_ptr first_error;
-      for (auto& f : futures) {
-        try {
-          f.get();
-        } catch (...) {
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-      if (first_error) std::rethrow_exception(first_error);
-    } else {
-      for (size_t s = 0; s < num_sites; ++s) {
-        if (!per_site[s].empty()) run_site(s);
-      }
-    }
-    protocol->Synchronize();
+    // arrivals in stream order, touching only per-site state. Rows are
+    // staged through the lane's reusable scratch (one buffer per lane,
+    // not one allocation per site task).
+    const size_t cols = window.cols();
+    ExecuteWindow(protocol, concurrent,
+                  [&](uint32_t site, uint32_t rel, WorkerLane& lane) {
+                    lane.row_scratch.resize(cols);
+                    std::memcpy(lane.row_scratch.data(), window.Row(rel),
+                                cols * sizeof(double));
+                    protocol->SiteUpdate(site, lane.row_scratch);
+                  });
     fed += got;
     first = false;
   }

@@ -5,8 +5,8 @@
 // the gap: it partitions a materialized stream by router assignment and
 // runs each site's local sketch updates (SiteUpdate) concurrently on a
 // fixed thread pool, while every coordinator interaction — merges,
-// broadcasts, round transitions (Synchronize) — happens at explicit
-// synchronization points between chunks of the stream.
+// broadcasts, round transitions — happens at explicit synchronization
+// points between chunks of the stream.
 //
 // Schedule. The stream is cut into chunks of `chunk_elements` arrivals (in
 // stream order), preceded by one short bootstrap round of ~one arrival per
@@ -16,16 +16,33 @@
 // processes exactly its assigned arrivals, in stream order, reading only
 // its own state plus the last-broadcast values (which are frozen for the
 // whole chunk). At the chunk boundary the coordinator drains all queued
-// site messages in ascending site order. This schedule — not the thread
-// count — defines the semantics, so:
+// site messages in ascending site order.
+//
+// Execution. Each window is partitioned once into a CSR plan over the
+// sites that actually received arrivals (stream::WindowPlan — no O(m)
+// scans, no per-site allocations). The worker pool then runs exactly
+// `threads` lane bodies (ThreadPool::RunBatch); each lane claims large
+// contiguous ranges of the ascending active-site list from one shared
+// atomic cursor (batch reservation) and executes the claimed sites'
+// arrivals in stream order. A site whose outbox holds queued messages
+// after its last arrival is published into the lane's single-producer
+// pending buffer; after the window barrier the coordinator merges those
+// buffers (ascending site ids) and drains exactly the pending sites via
+// SynchronizeSites — the same total order as a full Synchronize() scan,
+// without touching the m - k idle sites. Protocols that cannot drain
+// selectively fall back to Synchronize() (counted as a drain stall in
+// SchedulerStats).
 //
 //   Determinism guarantee: for a fixed (protocol seed, router assignment,
 //   chunk_elements), runs with ANY number of threads produce bit-identical
 //   coordinator state, CommStats and per-site message counts to the serial
-//   execution of the same schedule. The per-site work is confined to
-//   per-site state (enforced by the protocols' SiteUpdate contract and
-//   per-site RNG streams), per-site network shards, and per-site outboxes;
-//   the coordinator phase is single-threaded and ordered.
+//   execution of the same schedule. Per-site work touches only per-site
+//   state (the protocols' SiteUpdate contract and per-site RNG streams),
+//   per-site network shards, and per-site outboxes, so which lane runs
+//   which batch is scheduling noise; the coordinator phase is
+//   single-threaded and replays the fixed ascending-site order. Only the
+//   SchedulerStats observability counters (e.g. batches_reserved) may
+//   differ across thread counts.
 //
 // Protocols that do not support concurrent site updates (e.g. the
 // experimental MP4, whose coordinator exchange is interleaved with the
@@ -43,6 +60,7 @@
 #include "hh/hh_protocol.h"
 #include "matrix/matrix_protocol.h"
 #include "stream/router.h"
+#include "stream/site_schedule.h"
 #include "util/thread_pool.h"
 
 namespace dmt {
@@ -57,11 +75,20 @@ struct SimulationOptions {
   /// is part of the simulated schedule: changing it changes (slightly) the
   /// message pattern, so keep it fixed when comparing runs.
   size_t chunk_elements = 8192;
+  /// Sites per reservation batch claimed from the window cursor. 0 = auto
+  /// (~4 claims per lane, see stream::ReservationBatchSize). Scheduling
+  /// only — results are identical for any value.
+  size_t sites_per_batch = 0;
 };
 
 /// Effective thread count: `requested` if > 0, else the DMT_THREADS
-/// environment variable if set to a positive integer, else
-/// std::thread::hardware_concurrency() (minimum 1).
+/// environment variable if set, else std::thread::hardware_concurrency()
+/// (minimum 1). A DMT_THREADS value that is not a positive integer is a
+/// hard error (exits with a diagnostic — a typo'd value silently running
+/// serial would invalidate a benchmark). Counts above 4x the hardware
+/// concurrency are clamped to that cap with a logged warning:
+/// oversubscription past that point only adds scheduling noise, and the
+/// determinism guarantee makes the results identical anyway.
 size_t ResolveThreadCount(size_t requested);
 
 /// Parses a `<flag> N` / `<flag>=N` command-line option (shared by benches
@@ -70,7 +97,9 @@ size_t ParseSizeArg(int argc, char** argv, const char* flag,
                     size_t fallback);
 
 /// Parses `--threads`; returns 0 — "auto", resolved by the driver via
-/// ResolveThreadCount — when the flag is absent.
+/// ResolveThreadCount — when the flag is absent. A present flag must be a
+/// positive integer: 0, negatives and garbage are hard errors (exit with
+/// a diagnostic), matching the DMT_THREADS contract.
 size_t ParseThreadsArg(int argc, char** argv);
 
 /// Parses `--chunk` (arrivals per synchronization round); returns
@@ -110,6 +139,13 @@ class SimulationDriver {
   size_t threads() const { return threads_; }
   size_t chunk_elements() const { return options_.chunk_elements; }
 
+  /// Scheduler counters of the most recent Run (reset at each Run start).
+  /// windows / sites_scheduled / targeted_drains / drain_stalls are
+  /// schedule-determined and thread-count-invariant; batches_reserved
+  /// depends on the lane count (observability, never fed back into the
+  /// simulation).
+  const SchedulerStats& scheduler_stats() const { return stats_; }
+
   /// Drives a heavy-hitter protocol: items[i] arrives at sites[i].
   /// `sites` and `items` must have equal length.
   void Run(hh::HeavyHitterProtocol* protocol,
@@ -126,12 +162,12 @@ class SimulationDriver {
   /// its rows via NextChunk() and assigns sites from `router` in stream
   /// order, so at most one window (`chunk_elements` rows) is in memory.
   /// The schedule — bootstrap window of min(chunk_elements,
-  /// router->num_sites()) arrivals, then full chunks, coordinator
-  /// Synchronize() at every boundary — matches the materialized Run(),
-  /// and results are bit-identical to it (and across thread counts) for
-  /// the same router sequence and rows. Feeds until `max_rows` rows
-  /// (0 = until the source is exhausted; the source must then be finite)
-  /// and returns the number of rows actually fed.
+  /// router->num_sites()) arrivals, then full chunks, coordinator drain
+  /// at every boundary — matches the materialized Run(), and results are
+  /// bit-identical to it (and across thread counts) for the same router
+  /// sequence and rows. Feeds until `max_rows` rows (0 = until the source
+  /// is exhausted; the source must then be finite) and returns the number
+  /// of rows actually fed.
   size_t Run(matrix::MatrixTrackingProtocol* protocol, Router* router,
              data::DatasetSource* source, size_t max_rows = 0);
 
@@ -140,9 +176,21 @@ class SimulationDriver {
   void RunImpl(Protocol* protocol, const std::vector<size_t>& sites,
                const std::vector<Item>& items, bool concurrent);
 
+  /// Runs the already-Built plan_'s site phase (batch reservation across
+  /// the lanes, or the single-lane serial walk) and the coordinator drain.
+  /// `apply(site, rel, lane)` processes the window-relative arrival `rel`
+  /// at `site` using `lane`'s scratch.
+  template <typename Protocol, typename Apply>
+  void ExecuteWindow(Protocol* protocol, bool concurrent,
+                     const Apply& apply);
+
   SimulationOptions options_;
   size_t threads_;
   std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
+  WindowPlan plan_;                   // per-window CSR partition, reused
+  std::vector<WorkerLane> lanes_;     // cache-line-apart worker state
+  std::vector<uint32_t> drain_sites_; // merged pending sites, ascending
+  SchedulerStats stats_;
 };
 
 }  // namespace stream

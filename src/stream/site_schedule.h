@@ -1,0 +1,135 @@
+// Batch-reservation window scheduling: the SoA work plan and per-worker
+// lanes behind stream::SimulationDriver.
+//
+// The driver's unit of parallelism used to be "one pool task per site per
+// window". At m sites that is m task allocations, m queue round-trips and
+// m futures per synchronization window — fine at m = 32, fatal at
+// m = 10^5 (the scheduling overhead drowns the per-site sketch work and
+// the parallel driver clocks <= 1.0x; see BENCH_parallel_sites.json
+// history). The replacement here has three parts:
+//
+//  1. WindowPlan — a structure-of-arrays partition of one window's
+//     arrivals into per-site runs (CSR layout: ascending active-site
+//     list, offset array, flattened arrival indices), rebuilt in O(window
+//     arrivals + k log k) per window where k is the number of sites that
+//     actually received something. Nothing is ever scanned per-site over
+//     all m sites, and the site-keyed scratch arrays are cache-line
+//     aligned (util/aligned.h) and reused across windows.
+//
+//  2. WorkerLane — per-worker state, one cache line apart: the SPSC
+//     pending-site publication buffer (written only by the owning worker
+//     during the site phase, read only by the coordinator after the
+//     window barrier — single producer, single consumer, no locks), the
+//     streaming path's row scratch, and reservation counters.
+//
+//  3. SchedulerStats — observability counters (batches reserved, sites
+//     scheduled, targeted drains vs full-scan drain stalls) emitted into
+//     the BENCH_parallel_sites.json envelope.
+//
+// Workers claim contiguous ranges of the active-site list from a single
+// atomic cursor (batch reservation). Because the cursor is monotone and a
+// batch is an ascending slice of an ascending list, every lane's pending
+// buffer comes out sorted by site id, and the coordinator's drain merge
+// reproduces today's ascending-site total order exactly. Which lane runs
+// which batch is scheduling noise — per-site results never depend on it,
+// which is what keeps replay bit-identical for any thread count.
+#ifndef DMT_STREAM_SITE_SCHEDULE_H_
+#define DMT_STREAM_SITE_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace dmt {
+namespace stream {
+
+/// Deterministic aggregate counters for the batch-reservation scheduler.
+/// Reset at the start of every SimulationDriver::Run.
+struct SchedulerStats {
+  uint64_t windows = 0;           ///< synchronization windows executed
+  uint64_t batches_reserved = 0;  ///< ranges claimed from the cursor
+  uint64_t sites_scheduled = 0;   ///< site-window executions
+  uint64_t targeted_drains = 0;   ///< windows drained via pending lists
+  uint64_t drain_stalls = 0;      ///< windows that fell back to a full
+                                  ///< all-sites Synchronize() scan
+
+  double mean_sites_per_batch() const {
+    return batches_reserved == 0
+               ? 0.0
+               : static_cast<double>(sites_scheduled) /
+                     static_cast<double>(batches_reserved);
+  }
+};
+
+/// Per-worker lane, padded to a cache line so concurrent lanes never
+/// false-share. All fields are owned by exactly one worker between two
+/// window barriers; the coordinator reads them only after the barrier.
+struct alignas(kCacheLineBytes) WorkerLane {
+  /// SPSC publication buffer: sites this lane ran that still hold queued
+  /// outbox messages, ascending (see file comment).
+  std::vector<uint32_t> pending;
+  /// Streaming-path row staging (one per lane, not one per site task).
+  std::vector<double> row_scratch;
+  uint64_t batches = 0;  ///< ranges this lane claimed this window
+  uint64_t sites = 0;    ///< sites this lane executed this window
+};
+
+/// The SoA partition of one synchronization window's arrivals.
+///
+/// Build() takes the window's site assignment (sites[i] = site of the
+/// window's i-th arrival, in stream order) and produces, reusing all
+/// internal storage:
+///   - active list: every site with >= 1 arrival, ascending;
+///   - per-active-site runs: the window-relative arrival indices of that
+///     site, in stream order (CSR: offsets_ into idx_).
+/// Executing run p's arrivals in order, for all p, on any partition of
+/// the active list across workers, is exactly the serial window schedule.
+class WindowPlan {
+ public:
+  /// Sizes the site-keyed scratch arrays; call once per Run.
+  /// `num_sites` must fit a uint32 site id.
+  void Reset(size_t num_sites);
+
+  /// Partitions `count` arrivals with assignment `sites` (each < the
+  /// Reset() num_sites). O(count) plus sorting the k active sites.
+  void Build(const size_t* sites, size_t count);
+
+  size_t num_sites() const { return num_sites_; }
+  /// Number of sites with at least one arrival in this window.
+  size_t active_count() const { return active_.size(); }
+  /// Site id of active slot p (ascending in p).
+  uint32_t site_at(size_t p) const { return active_[p]; }
+  /// Window-relative arrival indices of active slot p, stream order.
+  const uint32_t* arrivals(size_t p, size_t* len) const {
+    *len = offsets_[p + 1] - offsets_[p];
+    return idx_.data() + offsets_[p];
+  }
+
+ private:
+  size_t num_sites_ = 0;
+  uint32_t epoch_ = 0;
+  // Site-keyed scratch (size num_sites_): which window a site was last
+  // active in, and its slot in that window's active list. Epoch stamping
+  // avoids an O(m) clear per window.
+  CacheAlignedVector<uint32_t> last_epoch_;
+  CacheAlignedVector<uint32_t> slot_;
+  // Window-local CSR (size ~ active/arrival count, reused).
+  CacheAlignedVector<uint32_t> active_;   // ascending site ids
+  CacheAlignedVector<uint32_t> offsets_;  // active slot -> idx_ range
+  CacheAlignedVector<uint32_t> idx_;      // flattened arrival indices
+  CacheAlignedVector<uint32_t> fill_;     // per-slot fill cursor (Build)
+};
+
+/// Batch size for reserving active-list ranges: large enough to amortize
+/// the cursor claim and keep each worker on a contiguous ascending site
+/// range, small enough to leave ~4 claims per lane for load balance.
+/// `override_size` > 0 (SimulationOptions::sites_per_batch) wins.
+size_t ReservationBatchSize(size_t active_sites, size_t lanes,
+                            size_t override_size);
+
+}  // namespace stream
+}  // namespace dmt
+
+#endif  // DMT_STREAM_SITE_SCHEDULE_H_

@@ -36,19 +36,61 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return future;
 }
 
+void ThreadPool::RunBatch(size_t fanout,
+                          const std::function<void(size_t)>& task) {
+  if (fanout == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  DMT_CHECK(!stopping_);
+  DMT_CHECK(!batch_active_);  // no nested or concurrent batches
+  batch_task_ = &task;
+  batch_fanout_ = fanout;
+  batch_next_ = 0;
+  batch_done_ = 0;
+  batch_error_ = nullptr;
+  batch_active_ = true;
+  cv_.notify_all();
+  batch_done_cv_.wait(lock, [this] { return batch_done_ == batch_fanout_; });
+  batch_active_ = false;
+  batch_task_ = nullptr;
+  std::exception_ptr error = std::move(batch_error_);
+  batch_error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
 void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::packaged_task<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
+    cv_.wait(lock, [this] {
+      return stopping_ || !queue_.empty() ||
+             (batch_active_ && batch_next_ < batch_fanout_);
+    });
+    if (batch_active_ && batch_next_ < batch_fanout_) {
+      const size_t slot = batch_next_++;
+      const std::function<void(size_t)>* task = batch_task_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*task)(slot);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !batch_error_) batch_error_ = std::move(error);
+      if (++batch_done_ == batch_fanout_) batch_done_cv_.notify_one();
+      continue;
     }
-    // packaged_task catches the task's exception and stores it in the
-    // shared state; the submitter sees it on future.get().
-    task();
+    if (!queue_.empty()) {
+      std::packaged_task<void()> task = std::move(queue_.front());
+      queue_.pop();
+      lock.unlock();
+      // packaged_task catches the task's exception and stores it in the
+      // shared state; the submitter sees it on future.get().
+      task();
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;  // queue drained, no batch work left
   }
 }
 

@@ -1,14 +1,24 @@
 // Fixed-size thread pool for the parallel site simulation.
 //
-// Deliberately minimal: a single FIFO queue guarded by one mutex, no work
-// stealing, no priorities. The simulation driver submits one task per site
-// per synchronization round and then waits for all of them, so a fancier
-// scheduler would buy nothing while making determinism audits harder.
+// Two submission paths:
+//
+//  - Submit(): a single FIFO queue guarded by one mutex — one
+//    packaged_task + future per call. Fine for coarse, infrequent tasks
+//    (and kept for compatibility), but per-task allocation and queue
+//    traffic dominate when the work units are small.
+//
+//  - RunBatch(): the batch-reservation path the simulation driver uses.
+//    One shared callable is broadcast to the workers; each worker claims
+//    lane slots from a shared cursor and runs the callable once per slot.
+//    No per-task queue nodes, futures, or heap allocations — the per-window
+//    scheduling cost is one lock/notify cycle regardless of how many
+//    sites the window touches.
 #ifndef DMT_UTIL_THREAD_POOL_H_
 #define DMT_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -18,12 +28,14 @@
 
 namespace dmt {
 
-/// Fixed pool of worker threads consuming a shared FIFO task queue.
+/// Fixed pool of worker threads consuming a shared FIFO task queue plus a
+/// broadcast batch channel.
 ///
 /// Tasks may be submitted from any thread. Exceptions thrown by a task are
-/// captured and rethrown from the matching future's get(). The pool is
-/// reusable: once all submitted tasks drain, further Submit calls behave
-/// identically (nothing is torn down between batches).
+/// captured and rethrown (from the matching future's get() for Submit, or
+/// from RunBatch itself). The pool is reusable: once submitted work
+/// drains, further Submit/RunBatch calls behave identically (nothing is
+/// torn down between batches).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers; 0 is clamped to 1.
@@ -39,6 +51,17 @@ class ThreadPool {
   /// what it threw). Must not be called after destruction has begun.
   std::future<void> Submit(std::function<void()> task);
 
+  /// Runs `task(slot)` once for every slot in [0, fanout), spread across
+  /// the pool's workers, and blocks the caller until every slot has
+  /// finished. Slots are claimed by idle workers from a single shared
+  /// cursor, so fanout may exceed the worker count (excess slots run as
+  /// workers free up). Every slot runs even if an earlier one throws; the
+  /// first captured exception is rethrown here after the barrier — the
+  /// all-slots-complete guarantee the simulation driver's window schedule
+  /// relies on. Must not be called concurrently with itself or from
+  /// inside a pool task.
+  void RunBatch(size_t fanout, const std::function<void(size_t)>& task);
+
   /// Number of worker threads.
   size_t size() const { return workers_.size(); }
 
@@ -49,6 +72,18 @@ class ThreadPool {
   std::condition_variable cv_;
   std::queue<std::packaged_task<void()>> queue_;
   bool stopping_ = false;
+
+  // Batch channel (all guarded by mutex_; the callable itself runs
+  // unlocked). `batch_task_` points at RunBatch's argument, which outlives
+  // the batch because RunBatch blocks until batch_done_ == batch_fanout_.
+  const std::function<void(size_t)>* batch_task_ = nullptr;
+  size_t batch_fanout_ = 0;
+  size_t batch_next_ = 0;  // next unclaimed slot
+  size_t batch_done_ = 0;  // completed slots
+  bool batch_active_ = false;
+  std::exception_ptr batch_error_;
+  std::condition_variable batch_done_cv_;
+
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,416 @@
+// Large-m determinism and drain-order tests for the batch-reservation
+// scheduler (stream/site_schedule.h + SimulationDriver::ExecuteWindow).
+//
+// The fine-grained contracts: (1) at m = 10^5 sites — the regime the
+// scheduler was built for — results stay bit-identical across 1/2/8
+// threads and across router policies; (2) the coordinator's targeted
+// drain (SynchronizeSites over the merged lane pending-buffers) visits
+// sites in strictly ascending order, exactly the sites with queued
+// messages, no matter how the lanes carved up the window; (3) forcing a
+// protocol onto the full-scan Synchronize() fallback changes counters
+// only, never results.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/zipf.h"
+#include "hh/p2_threshold.h"
+#include "matrix/mp1_batched_fd.h"
+#include "stream/router.h"
+#include "stream/simulation_driver.h"
+
+namespace dmt {
+namespace stream {
+namespace {
+
+constexpr uint64_t kSeed = 77;
+
+std::vector<WeightedUpdate> MakeItems(size_t n, uint64_t seed) {
+  data::ZipfianStream z(50000, 1.3, 50.0, seed);
+  std::vector<WeightedUpdate> items(n);
+  for (auto& it : items) {
+    data::WeightedItem w = z.Next();
+    it = WeightedUpdate{w.element, w.weight};
+  }
+  return items;
+}
+
+struct HhFingerprint {
+  CommStats stats;
+  std::vector<uint64_t> per_site;
+  double total = 0.0;
+  std::vector<std::pair<uint64_t, double>> estimates;
+};
+
+HhFingerprint FingerprintOf(const hh::HeavyHitterProtocol& p) {
+  HhFingerprint r;
+  r.stats = p.comm_stats();
+  r.per_site = p.per_site_messages();
+  r.total = p.EstimateTotalWeight();
+  std::vector<uint64_t> tracked = p.TrackedElements();
+  std::sort(tracked.begin(), tracked.end());
+  for (uint64_t e : tracked) {
+    r.estimates.emplace_back(e, p.EstimateElementWeight(e));
+  }
+  return r;
+}
+
+void ExpectIdentical(const HhFingerprint& a, const HhFingerprint& b) {
+  EXPECT_EQ(a.stats.scalar_up, b.stats.scalar_up);
+  EXPECT_EQ(a.stats.element_up, b.stats.element_up);
+  EXPECT_EQ(a.stats.broadcast_msgs, b.stats.broadcast_msgs);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.per_site, b.per_site);
+  // Bit-identical: exact double equality, deliberately no tolerance.
+  EXPECT_EQ(a.total, b.total);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (size_t i = 0; i < a.estimates.size(); ++i) {
+    EXPECT_EQ(a.estimates[i].first, b.estimates[i].first);
+    EXPECT_EQ(a.estimates[i].second, b.estimates[i].second);
+  }
+}
+
+// m = 10^5 sites, ~2 arrivals per site: windows where nearly every active
+// site has exactly one arrival, many sites never activate, and the
+// batch-reservation cursor hands out thousands of ranges per window.
+TEST(ParallelScaleTest, LargeMHeavyHitterBitIdenticalAcrossThreads) {
+  const size_t kM = 100000;
+  const size_t kN = 200000;
+  const std::vector<WeightedUpdate> items = MakeItems(kN, kSeed);
+
+  for (RoutingPolicy policy :
+       {RoutingPolicy::kUniform, RoutingPolicy::kSkewed}) {
+    Router router(kM, policy, kSeed + 1);
+    const std::vector<size_t> sites = AssignSites(&router, kN);
+
+    HhFingerprint serial;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      hh::P2Threshold protocol(kM, 0.05);
+      SimulationOptions opt;
+      opt.threads = threads;
+      opt.chunk_elements = 8192;
+      SimulationDriver driver(opt);
+      driver.Run(&protocol, sites, items);
+
+      const SchedulerStats& sched = driver.scheduler_stats();
+      EXPECT_GT(sched.windows, 1u);
+      EXPECT_EQ(sched.targeted_drains, sched.windows);
+      EXPECT_EQ(sched.drain_stalls, 0u);
+
+      if (threads == 1) {
+        serial = FingerprintOf(protocol);
+      } else {
+        ExpectIdentical(serial, FingerprintOf(protocol));
+      }
+    }
+  }
+}
+
+// Matrix path at m = 10^4 (per-site FD sketches make 10^5 sites
+// memory-prohibitive; the scheduler code path is identical).
+TEST(ParallelScaleTest, LargeMMatrixBitIdenticalAcrossThreads) {
+  const size_t kM = 10000;
+  const size_t kN = 20000;
+  const size_t kDim = 8;
+  data::ZipfianStream z(1000, 1.2, 10.0, kSeed + 2);
+  std::vector<std::vector<double>> rows(kN);
+  for (auto& r : rows) {
+    r.assign(kDim, 0.0);
+    for (size_t j = 0; j < kDim; ++j) r[j] = 0.1 * (1.0 + z.Next().weight);
+  }
+
+  for (RoutingPolicy policy :
+       {RoutingPolicy::kUniform, RoutingPolicy::kSkewed}) {
+    Router router(kM, policy, kSeed + 3);
+    const std::vector<size_t> sites = AssignSites(&router, kN);
+
+    double serial_frob = 0.0;
+    uint64_t serial_msgs = 0;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      matrix::MP1BatchedFD protocol(kM, 0.5);
+      SimulationOptions opt;
+      opt.threads = threads;
+      opt.chunk_elements = 4096;
+      SimulationDriver driver(opt);
+      driver.Run(&protocol, sites, rows);
+
+      EXPECT_EQ(driver.scheduler_stats().drain_stalls, 0u);
+      if (threads == 1) {
+        serial_frob = protocol.coordinator_frobenius();
+        serial_msgs = protocol.comm_stats().total();
+      } else {
+        EXPECT_EQ(protocol.coordinator_frobenius(), serial_frob);
+        EXPECT_EQ(protocol.comm_stats().total(), serial_msgs);
+      }
+    }
+  }
+}
+
+// Records every coordinator drain the driver issues. Each SiteUpdate
+// queues one message, so the pending set of a window is exactly its
+// active-site set.
+class DrainRecorder : public hh::HeavyHitterProtocol {
+ public:
+  explicit DrainRecorder(size_t num_sites)
+      : outbox_(num_sites), stats_{} {}
+
+  void Process(size_t site, uint64_t element, double weight) override {
+    SiteUpdate(site, element, weight);
+    Synchronize();
+  }
+  void SiteUpdate(size_t site, uint64_t, double) override {
+    ++outbox_[site];
+  }
+  void Synchronize() override {
+    std::vector<uint32_t> all;
+    for (size_t s = 0; s < outbox_.size(); ++s) {
+      if (outbox_[s] > 0) all.push_back(static_cast<uint32_t>(s));
+    }
+    RecordDrain(all.data(), all.size());
+  }
+  void SynchronizeSites(const uint32_t* sites, size_t count) override {
+    RecordDrain(sites, count);
+  }
+  bool SupportsTargetedDrain() const override { return true; }
+  size_t PendingOutboxSize(size_t site) const override {
+    return outbox_[site];
+  }
+  bool SupportsConcurrentSiteUpdates() const override { return true; }
+
+  double EstimateElementWeight(uint64_t) const override { return 0.0; }
+  double EstimateTotalWeight() const override { return 0.0; }
+  const CommStats& comm_stats() const override { return stats_; }
+  std::vector<uint64_t> per_site_messages() const override { return {}; }
+  std::string name() const override { return "recorder"; }
+  std::vector<uint64_t> TrackedElements() const override { return {}; }
+
+  const std::vector<std::vector<uint32_t>>& drains() const {
+    return drains_;
+  }
+
+ private:
+  void RecordDrain(const uint32_t* sites, size_t count) {
+    drains_.emplace_back(sites, sites + count);
+    for (size_t i = 0; i < count; ++i) outbox_[sites[i]] = 0;
+  }
+
+  std::vector<uint32_t> outbox_;  // queued message count per site
+  std::vector<std::vector<uint32_t>> drains_;
+  CommStats stats_;
+};
+
+// The pinned order contract: every window's drain visits exactly the
+// sites with queued messages, each once, strictly ascending — the same
+// total order a full Synchronize() scan produces.
+TEST(ParallelScaleTest, TargetedDrainVisitsPendingSitesAscending) {
+  const size_t kM = 997;  // prime: batches never align with site strides
+  const size_t kN = 20000;
+  const std::vector<WeightedUpdate> items = MakeItems(kN, kSeed + 4);
+  Router router(kM, RoutingPolicy::kUniform, kSeed + 5);
+  const std::vector<size_t> sites = AssignSites(&router, kN);
+
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    DrainRecorder recorder(kM);
+    SimulationOptions opt;
+    opt.threads = threads;
+    opt.chunk_elements = 1024;
+    SimulationDriver driver(opt);
+    driver.Run(&recorder, sites, items);
+
+    const auto ends = WindowEnds(kN, 1024, kM);
+    ASSERT_EQ(recorder.drains().size(), ends.size());
+    size_t begin = 0;
+    for (size_t w = 0; w < ends.size(); ++w) {
+      // Expected pending set: the window's distinct sites, ascending.
+      std::vector<uint32_t> expected(sites.begin() + begin,
+                                     sites.begin() + ends[w]);
+      std::sort(expected.begin(), expected.end());
+      expected.erase(std::unique(expected.begin(), expected.end()),
+                     expected.end());
+      const std::vector<uint32_t>& got = recorder.drains()[w];
+      ASSERT_TRUE(std::is_sorted(got.begin(), got.end()));
+      EXPECT_EQ(got, expected) << "window " << w << ", threads " << threads;
+      begin = ends[w];
+    }
+    EXPECT_EQ(driver.scheduler_stats().targeted_drains, ends.size());
+  }
+}
+
+// Turning the targeted drain off must change only the counters: the
+// full-scan fallback replays the identical total order.
+TEST(ParallelScaleTest, FullScanFallbackIsBitEquivalent) {
+  const size_t kM = 512;
+  const size_t kN = 50000;
+  const std::vector<WeightedUpdate> items = MakeItems(kN, kSeed + 6);
+  Router router(kM, RoutingPolicy::kSkewed, kSeed + 7);
+  const std::vector<size_t> sites = AssignSites(&router, kN);
+
+  // Same protocol, targeted drain disabled: the driver must fall back to
+  // Synchronize() and record drain stalls.
+  class FullScanP2 : public hh::P2Threshold {
+   public:
+    using P2Threshold::P2Threshold;
+    bool SupportsTargetedDrain() const override { return false; }
+  };
+
+  HhFingerprint targeted_fp;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    hh::P2Threshold targeted(kM, 0.1);
+    FullScanP2 fallback(kM, 0.1);
+    SimulationOptions opt;
+    opt.threads = threads;
+    opt.chunk_elements = 2048;
+
+    SimulationDriver d1(opt);
+    d1.Run(&targeted, sites, items);
+    EXPECT_EQ(d1.scheduler_stats().drain_stalls, 0u);
+    EXPECT_GT(d1.scheduler_stats().targeted_drains, 0u);
+
+    SimulationDriver d2(opt);
+    d2.Run(&fallback, sites, items);
+    EXPECT_EQ(d2.scheduler_stats().targeted_drains, 0u);
+    EXPECT_EQ(d2.scheduler_stats().drain_stalls,
+              d2.scheduler_stats().windows);
+
+    ExpectIdentical(FingerprintOf(targeted), FingerprintOf(fallback));
+    if (threads == 1) {
+      targeted_fp = FingerprintOf(targeted);
+    } else {
+      ExpectIdentical(targeted_fp, FingerprintOf(targeted));
+    }
+  }
+}
+
+// Batch-size override is scheduling only: pathological sizes (1 site per
+// claim, everything in one claim) produce identical results.
+TEST(ParallelScaleTest, SitesPerBatchOverrideDoesNotChangeResults) {
+  const size_t kM = 256;
+  const size_t kN = 30000;
+  const std::vector<WeightedUpdate> items = MakeItems(kN, kSeed + 8);
+  Router router(kM, RoutingPolicy::kUniform, kSeed + 9);
+  const std::vector<size_t> sites = AssignSites(&router, kN);
+
+  HhFingerprint reference;
+  bool first = true;
+  for (size_t batch : {size_t{0}, size_t{1}, size_t{1000000}}) {
+    hh::P2Threshold protocol(kM, 0.1);
+    SimulationOptions opt;
+    opt.threads = 4;
+    opt.chunk_elements = 2048;
+    opt.sites_per_batch = batch;
+    SimulationDriver driver(opt);
+    driver.Run(&protocol, sites, items);
+    if (first) {
+      reference = FingerprintOf(protocol);
+      first = false;
+    } else {
+      ExpectIdentical(reference, FingerprintOf(protocol));
+    }
+  }
+}
+
+TEST(ParallelScaleTest, SchedulerCountersAreCoherent) {
+  const size_t kM = 64;
+  const size_t kN = 10000;
+  const std::vector<WeightedUpdate> items = MakeItems(kN, kSeed + 10);
+  Router router(kM, RoutingPolicy::kUniform, kSeed + 11);
+  const std::vector<size_t> sites = AssignSites(&router, kN);
+
+  hh::P2Threshold protocol(kM, 0.1);
+  SimulationOptions opt;
+  opt.threads = 4;
+  opt.chunk_elements = 1024;
+  SimulationDriver driver(opt);
+  driver.Run(&protocol, sites, items);
+
+  const SchedulerStats& s = driver.scheduler_stats();
+  const auto ends = WindowEnds(kN, 1024, kM);
+  EXPECT_EQ(s.windows, ends.size());
+  EXPECT_EQ(s.targeted_drains + s.drain_stalls, s.windows);
+  EXPECT_GE(s.batches_reserved, s.windows);  // >= 1 claim per window
+  EXPECT_GT(s.mean_sites_per_batch(), 0.0);
+  // sites_scheduled counts each (window, active site) pair exactly once:
+  // it must equal the sum of per-window distinct-site counts, which is
+  // schedule-determined (thread-count-invariant).
+  uint64_t expected_scheduled = 0;
+  size_t begin = 0;
+  for (size_t end : ends) {
+    std::vector<size_t> active(sites.begin() + begin, sites.begin() + end);
+    std::sort(active.begin(), active.end());
+    active.erase(std::unique(active.begin(), active.end()), active.end());
+    expected_scheduled += active.size();
+    begin = end;
+  }
+  EXPECT_EQ(s.sites_scheduled, expected_scheduled);
+}
+
+// Satellite contract: a present --threads flag / DMT_THREADS variable must
+// be a positive integer — 0, negatives and garbage are hard errors, not
+// silent fallbacks (a typo'd value silently running serial would
+// invalidate a benchmark comparison).
+TEST(ThreadCountValidationDeathTest, ThreadsFlagRejectsZero) {
+  char prog[] = "prog";
+  char flag[] = "--threads";
+  char zero[] = "0";
+  char* argv[] = {prog, flag, zero};
+  EXPECT_EXIT(ParseThreadsArg(3, argv), ::testing::ExitedWithCode(2),
+              "positive integer");
+}
+
+TEST(ThreadCountValidationDeathTest, ThreadsFlagRejectsNegative) {
+  char prog[] = "prog";
+  char arg[] = "--threads=-4";
+  char* argv[] = {prog, arg};
+  EXPECT_EXIT(ParseThreadsArg(2, argv), ::testing::ExitedWithCode(2),
+              "positive integer");
+}
+
+TEST(ThreadCountValidationDeathTest, ThreadsFlagRejectsGarbage) {
+  char prog[] = "prog";
+  char arg[] = "--threads=lots";
+  char* argv[] = {prog, arg};
+  EXPECT_EXIT(ParseThreadsArg(2, argv), ::testing::ExitedWithCode(2),
+              "positive integer");
+}
+
+TEST(ThreadCountValidationDeathTest, EnvRejectsZeroAndGarbage) {
+  // setenv runs inside the forked death-test child, so the parent's
+  // environment is untouched.
+  EXPECT_EXIT(
+      {
+        setenv("DMT_THREADS", "0", 1);
+        ResolveThreadCount(0);
+      },
+      ::testing::ExitedWithCode(2), "positive integer");
+  EXPECT_EXIT(
+      {
+        setenv("DMT_THREADS", "-2", 1);
+        ResolveThreadCount(0);
+      },
+      ::testing::ExitedWithCode(2), "positive integer");
+  EXPECT_EXIT(
+      {
+        setenv("DMT_THREADS", "2x", 1);
+        ResolveThreadCount(0);
+      },
+      ::testing::ExitedWithCode(2), "positive integer");
+}
+
+TEST(ThreadCountValidationTest, ClampsExtremeOversubscription) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  const size_t hw = hc == 0 ? 1 : static_cast<size_t>(hc);
+  // At the cap: accepted verbatim. Beyond it: clamped, never rejected.
+  EXPECT_EQ(ResolveThreadCount(4 * hw), 4 * hw);
+  EXPECT_EQ(ResolveThreadCount(4 * hw + 1), 4 * hw);
+  EXPECT_EQ(ResolveThreadCount(1000000), 4 * hw);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace dmt

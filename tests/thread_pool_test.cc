@@ -75,6 +75,67 @@ TEST(ThreadPoolTest, SingleThreadRunsTasksInSubmissionOrder) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(ThreadPoolTest, RunBatchRunsEverySlotExactlyOnce) {
+  ThreadPool pool(8);
+  const size_t kFanout = 1000;
+  std::vector<std::atomic<int>> hits(kFanout);
+  for (auto& h : hits) h.store(0);
+  pool.RunBatch(kFanout, [&hits](size_t slot) {
+    hits[slot].fetch_add(1, std::memory_order_relaxed);
+  });
+  // The barrier already happened: plain reads are safe here.
+  for (size_t i = 0; i < kFanout; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, RunBatchZeroFanoutReturnsImmediately) {
+  ThreadPool pool(4);
+  pool.RunBatch(0, [](size_t) { FAIL() << "no slot should run"; });
+}
+
+TEST(ThreadPoolTest, RunBatchCompletesAllSlotsBeforeRethrowing) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  EXPECT_THROW(
+      pool.RunBatch(64,
+                    [&done](size_t slot) {
+                      done.fetch_add(1, std::memory_order_relaxed);
+                      if (slot == 3) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+  // All-slots-complete barrier: every slot ran even though one threw.
+  EXPECT_EQ(done.load(), 64);
+  // The pool survives: both submission paths still work.
+  std::atomic<int> after{0};
+  pool.RunBatch(8, [&after](size_t) { ++after; });
+  EXPECT_EQ(after.load(), 8);
+  EXPECT_NO_THROW(pool.Submit([] {}).get());
+}
+
+TEST(ThreadPoolTest, RunBatchReusableAcrossRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunBatch(17, [&counter](size_t) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(counter.load(), 50 * 17);
+}
+
+TEST(ThreadPoolTest, RunBatchInterleavesWithSubmit) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) {
+      futures.push_back(pool.Submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) f.get();
+    pool.RunBatch(20, [&counter](size_t) { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 10 * 40);
+}
+
 TEST(ThreadPoolTest, QueuedTasksRunBeforeShutdownJoins) {
   std::atomic<int> counter{0};
   {

@@ -34,6 +34,18 @@ DETERMINISM_DIRS = (
     "src/net",
 )
 
+# Individual files swept in addition to the directories above. src/util is
+# mostly out of scope (timer.h wraps steady_clock, env.cc reads the
+# environment), but the scheduler's building blocks live there and carry
+# the same replay-determinism contract as the driver that uses them: the
+# thread pool's batch barrier orders the site phase against the
+# coordinator drain, and the aligned allocator backs the WindowPlan's
+# site-keyed scratch.
+DETERMINISM_FILES = (
+    "src/util/thread_pool.h", "src/util/thread_pool.cc",
+    "src/util/aligned.h",
+)
+
 _UNORDERED_CLASSES = frozenset(
     ["unordered_map", "unordered_set", "unordered_multimap",
      "unordered_multiset", "_Hashtable"]
@@ -127,7 +139,9 @@ def _is_repo_file(path, repo_root):
 
 def _in_determinism_scope(path):
     p = _norm(path)
-    return any(("/" + d + "/") in p or p.startswith(d + "/") for d in DETERMINISM_DIRS)
+    if any(("/" + d + "/") in p or p.startswith(d + "/") for d in DETERMINISM_DIRS):
+        return True
+    return any(("/" + f) in p or p == f for f in DETERMINISM_FILES)
 
 
 def build_file_index(repo_root, extra_files=()):
