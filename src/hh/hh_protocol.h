@@ -3,6 +3,7 @@
 #ifndef DMT_HH_HH_PROTOCOL_H_
 #define DMT_HH_HH_PROTOCOL_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -12,6 +13,13 @@
 
 namespace dmt {
 namespace hh {
+
+/// One tracked element with its coordinator estimate, as exported for the
+/// serving layer (serve::BuildSnapshot).
+struct HHSnapshotEntry {
+  uint64_t element = 0;
+  double weight = 0.0;
+};
 
 /// A distributed weighted heavy-hitters tracking protocol: items arrive at
 /// sites; the coordinator continuously answers weight queries.
@@ -117,7 +125,29 @@ class HeavyHitterProtocol {
   /// Elements the coordinator has any evidence for (candidates for
   /// HeavyHitters()). Order is unspecified.
   virtual std::vector<uint64_t> TrackedElements() const = 0;
+
+  /// Deep-copied coordinator state for the serving layer: every tracked
+  /// element with its current estimate, element-ascending, no duplicates.
+  /// Nothing in the result aliases live protocol state. Same threading
+  /// contract as comm_stats(): call only between rounds / after the run.
+  /// Default: sorted+deduplicated TrackedElements() with
+  /// EstimateElementWeight() per element.
+  virtual std::vector<HHSnapshotEntry> ExportSnapshotEntries() const;
 };
+
+inline std::vector<HHSnapshotEntry> HeavyHitterProtocol::ExportSnapshotEntries()
+    const {
+  std::vector<uint64_t> elements = TrackedElements();
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  std::vector<HHSnapshotEntry> out;
+  out.reserve(elements.size());
+  for (uint64_t e : elements) {
+    out.push_back(HHSnapshotEntry{e, EstimateElementWeight(e)});
+  }
+  return out;
+}
 
 inline std::vector<uint64_t> HeavyHitterProtocol::HeavyHitters(
     double phi, double eps) const {

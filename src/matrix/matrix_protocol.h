@@ -106,6 +106,16 @@ class MatrixTrackingProtocol {
     return CoordinatorSketch().Gram();
   }
 
+  /// Deep-copied coordinator sketch for the serving layer
+  /// (serve::BuildSnapshot). The returned matrix must own every element —
+  /// nothing may alias live protocol buffers, so a pinned snapshot stays
+  /// bit-identical while ingestion continues. Same threading contract as
+  /// CoordinatorSketch(): call only between rounds / after the run.
+  /// Default: CoordinatorSketch(), which already returns by value.
+  virtual linalg::Matrix ExportSnapshotSketch() const {
+    return CoordinatorSketch();
+  }
+
   /// Communication counters so far.
   virtual const stream::CommStats& comm_stats() const = 0;
 

@@ -194,7 +194,8 @@ bool RunWireSite(WireAdapter* adapter, size_t site,
 bool RunWireCoordinator(WireAdapter* adapter,
                         std::vector<std::unique_ptr<Connection>>* channels,
                         size_t num_windows, WireCoordinatorReport* report,
-                        std::string* error) {
+                        std::string* error,
+                        const std::function<void(size_t)>& on_window) {
   const size_t m = adapter->num_sites();
   if (channels->size() != m) {
     *error = "coordinator: got " + std::to_string(channels->size()) +
@@ -262,6 +263,10 @@ bool RunWireCoordinator(WireAdapter* adapter,
         }
       }
     }
+
+    // Post-drain, pre-broadcast: the coordinator protocol is between
+    // rounds — the snapshot-export window the serving layer publishes in.
+    if (on_window) on_window(w + 1);
 
     BroadcastMsg b;
     b.window = w;

@@ -148,10 +148,17 @@ struct WireCoordinatorReport {
 /// every window in ascending site order, pushes broadcasts, then runs the
 /// kSiteDone / kShutdown teardown. Returns false with `*error` on any
 /// channel failure, malformed frame, or handshake mismatch.
+///
+/// `on_window`, when non-empty, runs after each window's drain completes
+/// (1-based count of drained windows), before the broadcast push — the
+/// protocol instance is in its between-rounds state, so the callback may
+/// export snapshots (serve::ServingCoordinator publishes from here).
+/// Observer plane only: it must not mutate the protocol.
 bool RunWireCoordinator(WireAdapter* adapter,
                         std::vector<std::unique_ptr<Connection>>* channels,
                         size_t num_windows, WireCoordinatorReport* report,
-                        std::string* error);
+                        std::string* error,
+                        const std::function<void(size_t)>& on_window = {});
 
 }  // namespace net
 }  // namespace dmt

@@ -1,0 +1,101 @@
+// Query facade over one immutable serve::Snapshot.
+//
+// Every answer is computed from the snapshot's precomputed structures —
+// the (weight desc, element asc) HH order with prefix weights, the
+// element-sorted lookup index, and the factored sketch B = UΣVᵀ — so no
+// query re-sorts, re-scans protocol state, or re-decomposes. All methods
+// are const, deterministic (fixed iteration order, no wall-clock, no
+// RNG), and safe to call from any number of threads at once on the same
+// snapshot.
+//
+// Empty-state contract (the pre-first-window snapshot, or a section the
+// tracked protocol doesn't populate): every query returns the documented
+// empty result — empty vectors, zero weights/norms — never UB. Invalid
+// *arguments* (zero k, zero rank, non-positive phi, dimension mismatch
+// against a non-empty sketch) abort via DMT_CHECK: they are caller bugs,
+// not data states (death-tested by tests/serving_edge_test.cc).
+#ifndef DMT_SERVE_QUERY_ENGINE_H_
+#define DMT_SERVE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/snapshot.h"
+
+namespace dmt {
+namespace serve {
+
+/// Lightweight, copyable view answering queries from one snapshot. Does
+/// not own or pin the snapshot — hold the SnapshotRef for at least as
+/// long as the engine.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Snapshot* snapshot);
+
+  const Snapshot& snapshot() const { return *snapshot_; }
+  uint64_t window_index() const { return snapshot_->window_index; }
+  uint64_t items_ingested() const { return snapshot_->items_ingested; }
+
+  // --- Heavy-hitter queries ---
+
+  /// Number of tracked elements (0 when no HH section).
+  size_t TrackedCount() const { return snapshot_->by_weight.size(); }
+
+  /// The k heaviest tracked elements, (weight desc, element asc); fewer
+  /// than k when fewer are tracked, empty on an empty snapshot. k ≥ 1.
+  std::vector<HHEntry> TopK(size_t k) const;
+
+  /// Total estimated weight of the k heaviest tracked elements (0 when
+  /// nothing is tracked). k ≥ 1.
+  double TopKMass(size_t k) const;
+
+  /// Coordinator estimate for one element; 0 for untracked elements
+  /// (binary search on the element-sorted index).
+  double ElementWeight(uint64_t element) const;
+
+  /// Coordinator estimate of the total stream weight W (0 pre-window).
+  double TotalWeight() const { return snapshot_->total_weight; }
+
+  /// Elements passing the paper's report rule
+  /// estimate/W ≥ phi − eps/2, in (weight desc, element asc) order.
+  /// Empty when W ≤ 0. Requires phi > 0 and eps ≥ 0.
+  std::vector<HHEntry> HeavyHitters(double phi, double eps) const;
+
+  // --- Matrix queries ---
+
+  /// Rows/cols of the snapshot sketch B (0 when empty).
+  size_t SketchRows() const { return snapshot_->sketch.rows(); }
+  size_t SketchCols() const { return snapshot_->sketch.cols(); }
+
+  /// ‖B‖²_F (0 when empty).
+  double SketchSquaredFrobenius() const {
+    return snapshot_->sketch_sq_frob;
+  }
+
+  /// The k largest singular values of B, descending; fewer when B has
+  /// lower rank, empty on an empty sketch. k ≥ 1.
+  std::vector<double> TopSingularValues(size_t k) const;
+
+  /// Projection of x onto the top-`rank` right singular directions of B:
+  /// Σ_{i<r} (vᵢᵀx) vᵢ with r = min(rank, #directions). rank ≥ 1;
+  /// x.size() must equal SketchCols() when the sketch is non-empty.
+  /// Returns the zero vector of x's size on an empty sketch.
+  std::vector<double> ProjectRow(const std::vector<double>& x,
+                                 size_t rank) const;
+
+  /// ‖Bx‖² — the covariance quadratic form the paper's tracking bound
+  /// |‖Ax‖² − ‖Bx‖²| ≤ ε‖A‖²_F is stated over. Computed directly from
+  /// the sketch rows (bit-identical to querying the protocol sketch).
+  /// x.size() must equal SketchCols() when the sketch is non-empty;
+  /// returns 0 on an empty sketch.
+  double CovarianceQuadraticForm(const std::vector<double>& x) const;
+
+ private:
+  const Snapshot* snapshot_;
+};
+
+}  // namespace serve
+}  // namespace dmt
+
+#endif  // DMT_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,78 @@
+#include "serve/serving_coordinator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dmt {
+namespace serve {
+
+ServingCoordinator::ServingCoordinator(SnapshotStore* store)
+    : store_(store) {
+  DMT_CHECK(store != nullptr);
+}
+
+ServingCoordinator::~ServingCoordinator() { Detach(); }
+
+void ServingCoordinator::AttachHH(stream::SimulationDriver* driver,
+                                  const hh::HeavyHitterProtocol* protocol) {
+  DMT_CHECK(driver != nullptr);
+  AttachHHProtocol(protocol);
+  driver_ = driver;
+  driver_->set_window_callback([this](const stream::WindowEndInfo& info) {
+    PublishWindow(info.window_index, info.arrivals_total);
+  });
+}
+
+void ServingCoordinator::AttachMatrix(
+    stream::SimulationDriver* driver,
+    const matrix::MatrixTrackingProtocol* protocol) {
+  DMT_CHECK(driver != nullptr);
+  AttachMatrixProtocol(protocol);
+  driver_ = driver;
+  driver_->set_window_callback([this](const stream::WindowEndInfo& info) {
+    PublishWindow(info.window_index, info.arrivals_total);
+  });
+}
+
+void ServingCoordinator::AttachHHProtocol(
+    const hh::HeavyHitterProtocol* protocol) {
+  DMT_CHECK(protocol != nullptr);
+  Detach();
+  hh_ = protocol;
+}
+
+void ServingCoordinator::AttachMatrixProtocol(
+    const matrix::MatrixTrackingProtocol* protocol) {
+  DMT_CHECK(protocol != nullptr);
+  Detach();
+  matrix_ = protocol;
+}
+
+void ServingCoordinator::Detach() {
+  if (driver_ != nullptr) {
+    driver_->set_window_callback({});
+    driver_ = nullptr;
+  }
+  hh_ = nullptr;
+  matrix_ = nullptr;
+}
+
+void ServingCoordinator::PublishWindow(uint64_t window_index,
+                                       uint64_t items_ingested) {
+  DMT_CHECK(hh_ != nullptr || matrix_ != nullptr);
+  if (hh_ != nullptr) {
+    Publish(BuildSnapshot(*hh_, window_index, items_ingested));
+  } else {
+    Publish(BuildSnapshot(*matrix_, window_index, items_ingested));
+  }
+}
+
+void ServingCoordinator::Publish(std::unique_ptr<const Snapshot> snap) {
+  if (observer_) observer_(*snap);
+  store_->Publish(std::move(snap));
+  ++windows_published_;
+}
+
+}  // namespace serve
+}  // namespace dmt

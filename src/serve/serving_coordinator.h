@@ -1,0 +1,101 @@
+// ServingCoordinator — glue between ingestion and the snapshot store.
+//
+// Wraps a protocol run (stream::SimulationDriver in-process, or the
+// src/net wire coordinator loop) and publishes one immutable
+// serve::Snapshot into a SnapshotStore after every synchronization
+// window, from the coordinator thread, while the protocol is in its
+// between-rounds state. Reader threads meanwhile acquire snapshots
+// through serve::SnapshotReader and answer queries with
+// serve::QueryEngine — ingestion never blocks on them.
+//
+// Usage (in-process):
+//
+//   serve::SnapshotStore store;
+//   serve::ServingCoordinator serving(&store);
+//   serving.AttachMatrix(&driver, protocol.get());   // hooks the driver
+//   driver.Run(protocol.get(), sites, rows);         // publishes per window
+//
+// Usage (wire):
+//
+//   serve::ServingCoordinator serving(&store);
+//   serving.AttachMatrixProtocol(&mp2);
+//   net::RunWireCoordinator(&adapter, &channels, windows, &report, &err,
+//                           [&](size_t w) { serving.PublishWindow(w, 0); });
+//
+// Publication order is the schedule's window order; window_index is the
+// 1-based drained-window count (0 names the pre-attach empty snapshot).
+#ifndef DMT_SERVE_SERVING_COORDINATOR_H_
+#define DMT_SERVE_SERVING_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "hh/hh_protocol.h"
+#include "matrix/matrix_protocol.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
+#include "stream/simulation_driver.h"
+
+namespace dmt {
+namespace serve {
+
+/// Publishes protocol snapshots into a SnapshotStore at window
+/// boundaries. Single-threaded (the coordinator/ingestion thread); only
+/// the store it publishes into is shared with readers.
+class ServingCoordinator {
+ public:
+  /// Does not take ownership of the store.
+  explicit ServingCoordinator(SnapshotStore* store);
+  ~ServingCoordinator();
+  ServingCoordinator(const ServingCoordinator&) = delete;
+  ServingCoordinator& operator=(const ServingCoordinator&) = delete;
+
+  /// Hooks `driver`'s window callback: after every drained window,
+  /// exports `protocol`'s coordinator state and publishes it. Replaces
+  /// any previous attachment (and any previous callback on `driver`).
+  /// Both pointers must outlive this object or the next Attach/Detach.
+  void AttachHH(stream::SimulationDriver* driver,
+                const hh::HeavyHitterProtocol* protocol);
+  void AttachMatrix(stream::SimulationDriver* driver,
+                    const matrix::MatrixTrackingProtocol* protocol);
+
+  /// Protocol-only attachments for runs this class does not drive (the
+  /// wire coordinator loop): the caller invokes PublishWindow() itself.
+  void AttachHHProtocol(const hh::HeavyHitterProtocol* protocol);
+  void AttachMatrixProtocol(const matrix::MatrixTrackingProtocol* protocol);
+
+  /// Clears the driver hook and the protocol attachment.
+  void Detach();
+
+  /// Exports the attached protocol's state as a snapshot for window
+  /// `window_index` and publishes it. Call only from the coordinator
+  /// thread, only between rounds. DMT_CHECKs that a protocol is attached.
+  void PublishWindow(uint64_t window_index, uint64_t items_ingested);
+
+  /// Test/bench hook: observes every snapshot right before publication,
+  /// on the publishing thread. The oracle recorder of
+  /// tests/serving_concurrency_test.cc. Pass empty to clear.
+  void set_publish_observer(std::function<void(const Snapshot&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Windows published through this coordinator so far.
+  uint64_t windows_published() const { return windows_published_; }
+
+  SnapshotStore* store() const { return store_; }
+
+ private:
+  void Publish(std::unique_ptr<const Snapshot> snap);
+
+  SnapshotStore* store_;
+  stream::SimulationDriver* driver_ = nullptr;
+  const hh::HeavyHitterProtocol* hh_ = nullptr;
+  const matrix::MatrixTrackingProtocol* matrix_ = nullptr;
+  std::function<void(const Snapshot&)> observer_;
+  uint64_t windows_published_ = 0;
+};
+
+}  // namespace serve
+}  // namespace dmt
+
+#endif  // DMT_SERVE_SERVING_COORDINATOR_H_

@@ -1,0 +1,183 @@
+// Epoch-based RCU snapshot publication — the concurrency core of the
+// serving layer.
+//
+// One writer (the ingestion thread, at synchronization-window boundaries)
+// publishes immutable serve::Snapshot objects; many readers acquire the
+// current snapshot without ever blocking the writer, and the writer never
+// blocks a reader. The scheme is a hybrid of epoch-based reclamation (for
+// the acquisition race) and per-snapshot reference counts (for long-term
+// pins):
+//
+//   reader (SnapshotReader::Acquire, wait-free):
+//     1. announce: slot.epoch ← global epoch        (seq_cst store)
+//     2. load the current Published* pointer        (seq_cst load)
+//     3. pin: published.refs += 1                   (acq_rel RMW)
+//     4. quiesce: slot.epoch ← kQuiescent           (release store)
+//     The returned SnapshotRef holds the refcount until destroyed.
+//
+//   writer (SnapshotStore::Publish, lock-free):
+//     1. swap: current ← new Published              (seq_cst exchange)
+//     2. retire the old pointer at epoch E, then global epoch ← E + 1
+//     3. reclaim scan: free a retired Published only when refs == 0 AND
+//        every reader slot is quiescent or announced an epoch > E.
+//
+// Why no torn acquisition is possible: announce (1) and pointer load (2)
+// are both seq_cst, as are the writer's swap and its scan of the slots.
+// If a reader loaded the *old* pointer, its announce is ordered before the
+// writer's swap in the single total order of seq_cst operations, hence
+// before the writer's scan — so the scan observes an announced epoch
+// ≤ E and refuses to free until the reader either quiesces (after taking
+// its refcount, which then blocks the free by itself) or moves to a later
+// epoch (proving it can no longer hold the retired pointer unpinned).
+//
+// Readers never free memory and never loop: Acquire is a constant number
+// of atomic operations (wait-free). The writer never waits on readers
+// either — a still-pinned old snapshot simply stays on the retire list
+// until a later Publish (or the destructor) reclaims it, which is what
+// makes long-term snapshot pinning safe (tested by
+// tests/serving_concurrency_test.cc, SnapshotPinning*).
+#ifndef DMT_SERVE_SNAPSHOT_STORE_H_
+#define DMT_SERVE_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/snapshot.h"
+#include "util/aligned.h"
+
+namespace dmt {
+namespace serve {
+
+class SnapshotStore;
+class SnapshotReader;
+
+/// A pinned, immutable snapshot. Holds one reference on the published
+/// entry; the snapshot stays valid and bit-identical for the life of the
+/// ref, no matter how many newer windows publish. Movable, not copyable.
+/// Thread-compatible: one ref belongs to one thread (acquire more refs for
+/// more threads).
+class SnapshotRef {
+ public:
+  SnapshotRef() = default;
+  SnapshotRef(SnapshotRef&& other) noexcept;
+  SnapshotRef& operator=(SnapshotRef&& other) noexcept;
+  SnapshotRef(const SnapshotRef&) = delete;
+  SnapshotRef& operator=(const SnapshotRef&) = delete;
+  ~SnapshotRef();
+
+  /// The pinned snapshot; nullptr only on a default-constructed or
+  /// moved-from ref.
+  const Snapshot* get() const { return snapshot_; }
+  const Snapshot& operator*() const { return *snapshot_; }
+  const Snapshot* operator->() const { return snapshot_; }
+  explicit operator bool() const { return snapshot_ != nullptr; }
+
+  /// Drops the pin (idempotent).
+  void Reset();
+
+ private:
+  friend class SnapshotReader;
+  SnapshotRef(std::atomic<uint64_t>* refs, const Snapshot* snapshot)
+      : refs_(refs), snapshot_(snapshot) {}
+
+  std::atomic<uint64_t>* refs_ = nullptr;
+  const Snapshot* snapshot_ = nullptr;
+};
+
+/// One reader thread's registration with a SnapshotStore. Each reader
+/// thread constructs its own SnapshotReader (claiming one announcement
+/// slot) and calls Acquire() as often as it likes; Acquire is wait-free
+/// and never blocks or is blocked by the writer. A SnapshotReader must
+/// not outlive its store and must stay on one thread.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(SnapshotStore* store);
+  ~SnapshotReader();
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  /// Pins and returns the currently published snapshot. Never returns a
+  /// null ref: the store always has at least the empty pre-first-window
+  /// snapshot published.
+  SnapshotRef Acquire();
+
+ private:
+  SnapshotStore* store_;
+  size_t slot_;
+};
+
+/// The single-writer, many-reader snapshot store. The writer thread calls
+/// Publish() at window boundaries; reader threads go through
+/// SnapshotReader. Reclamation of superseded snapshots happens on the
+/// writer thread only (inside Publish and the destructor), so readers
+/// never free memory.
+class SnapshotStore {
+ public:
+  /// `max_readers` bounds the number of concurrently-registered
+  /// SnapshotReaders (announcement slots are preallocated — registration
+  /// is lock-free and slots recycle on reader destruction). Starts with
+  /// BuildEmptySnapshot() published.
+  explicit SnapshotStore(size_t max_readers = kDefaultMaxReaders);
+  ~SnapshotStore();
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  static constexpr size_t kDefaultMaxReaders = 64;
+
+  /// Publishes `snapshot` as the new current snapshot and retires the old
+  /// one. Writer thread only. Attempts reclamation of every retired
+  /// snapshot whose pins and epochs allow it.
+  void Publish(std::unique_ptr<const Snapshot> snapshot);
+
+  /// Snapshots retired but not yet reclaimed (still pinned or possibly
+  /// visible to an in-flight Acquire). Writer thread only; test hook.
+  size_t retired_count() const { return retired_.size(); }
+
+  /// Total snapshots reclaimed (freed) so far. Writer thread only.
+  uint64_t reclaimed_count() const { return reclaimed_; }
+
+  size_t max_readers() const { return slots_.size(); }
+
+ private:
+  friend class SnapshotReader;
+
+  /// Announced-epoch value meaning "not inside Acquire".
+  static constexpr uint64_t kQuiescent = UINT64_MAX;
+
+  /// One published snapshot plus its pin count and retirement epoch.
+  struct Published {
+    explicit Published(std::unique_ptr<const Snapshot> s)
+        : snap(std::move(s)) {}
+    std::unique_ptr<const Snapshot> snap;
+    std::atomic<uint64_t> refs{0};
+    uint64_t retire_epoch = 0;  // set when retired; writer-only field
+  };
+
+  /// One reader announcement slot, alone on its cache line so reader
+  /// announcements never false-share with each other or the writer's
+  /// fields.
+  struct alignas(kCacheLineBytes) Slot {
+    std::atomic<uint64_t> epoch{kQuiescent};
+    std::atomic<bool> in_use{false};
+  };
+
+  size_t ClaimSlot();
+  void ReleaseSlot(size_t slot);
+  /// Frees every retired snapshot not blocked by a pin or an announced
+  /// epoch ≤ its retirement epoch. Writer thread only.
+  void Reclaim();
+
+  CacheAlignedVector<Slot> slots_;
+  std::atomic<Published*> current_;
+  std::atomic<uint64_t> epoch_{0};
+  std::vector<Published*> retired_;  // writer-only
+  uint64_t reclaimed_ = 0;           // writer-only
+};
+
+}  // namespace serve
+}  // namespace dmt
+
+#endif  // DMT_SERVE_SNAPSHOT_STORE_H_

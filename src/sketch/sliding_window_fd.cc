@@ -76,5 +76,36 @@ linalg::Matrix SlidingWindowFD::Gram(bool include_straddling) const {
   return Sketch(include_straddling).Gram();
 }
 
+linalg::Matrix SlidingWindowFD::ExportSketch(bool include_straddling) const {
+  linalg::Matrix out;
+  size_t total_rows = 0;
+  size_t cols = 0;
+  bool skip_front = false;
+  if (!blocks_.empty()) {
+    const Block& front = blocks_.front();
+    const bool straddles =
+        (front.newest - front.rows + 1) + window_ <= rows_seen_;
+    skip_front = straddles && !include_straddling;
+  }
+  for (size_t i = skip_front ? 1 : 0; i < blocks_.size(); ++i) {
+    const linalg::Matrix& b = blocks_[i].sketch.sketch();
+    total_rows += b.rows();
+    if (cols == 0) cols = b.cols();
+  }
+  if (total_rows == 0) return out;
+  // One exact-size allocation, then element-wise copies out of each block
+  // buffer. AppendRows' raw-pointer overload copies eagerly, so nothing in
+  // `out` aliases the deque's live FD buffers — the deep-copy contract the
+  // pinning regression test enforces.
+  out = linalg::Matrix(0, cols);
+  out.ReserveRows(total_rows);
+  for (size_t i = skip_front ? 1 : 0; i < blocks_.size(); ++i) {
+    const linalg::Matrix& b = blocks_[i].sketch.sketch();
+    if (b.rows() == 0) continue;
+    out.AppendRows(b.Row(0), b.rows(), b.cols());
+  }
+  return out;
+}
+
 }  // namespace sketch
 }  // namespace dmt

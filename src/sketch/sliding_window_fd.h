@@ -52,6 +52,14 @@ class SlidingWindowFD {
   /// B^T B of Sketch().
   linalg::Matrix Gram(bool include_straddling = true) const;
 
+  /// Deep-copied owning snapshot of Sketch(include_straddling) for the
+  /// serving layer (serve::BuildWindowedSnapshot). Contract: the returned
+  /// matrix owns every element — one exact-size allocation, nothing
+  /// aliasing the live block buffers — so a pinned snapshot stays
+  /// bit-identical across subsequent Append() calls (merges, expiries,
+  /// shrinks). Regression-pinned by tests/sliding_window_fd_test.cc.
+  linalg::Matrix ExportSketch(bool include_straddling = true) const;
+
   /// Rows appended so far (stream position).
   uint64_t rows_seen() const { return rows_seen_; }
 

@@ -263,6 +263,7 @@ void SimulationDriver::RunImpl(Protocol* protocol,
   // The window schedule (bootstrap + full chunks) is shared with the wire
   // transport via WindowEnds — see its comment for the bootstrap rationale.
   size_t begin = 0;
+  uint64_t window_index = 0;
   for (const size_t end :
        WindowEnds(n, options_.chunk_elements, num_sites)) {
     plan_.Build(sites.data() + begin, end - begin);
@@ -271,6 +272,12 @@ void SimulationDriver::RunImpl(Protocol* protocol,
                     ApplyItem(protocol, site, items[begin + rel]);
                   });
     begin = end;
+    ++window_index;
+    // Post-drain: no site work in flight, the protocol is in its
+    // between-rounds state — safe for the callback to export snapshots.
+    if (window_callback_) {
+      window_callback_(WindowEndInfo{window_index, end});
+    }
   }
 }
 
@@ -314,6 +321,7 @@ size_t SimulationDriver::Run(matrix::MatrixTrackingProtocol* protocol,
   linalg::Matrix window;      // rows of the current window
   std::vector<size_t> sites;  // site of window row i
   size_t fed = 0;
+  uint64_t window_index = 0;
   bool first = true;
   while (max_rows == 0 || fed < max_rows) {
     size_t want = first ? bootstrap : chunk;
@@ -344,6 +352,10 @@ size_t SimulationDriver::Run(matrix::MatrixTrackingProtocol* protocol,
                   });
     fed += got;
     first = false;
+    ++window_index;
+    if (window_callback_) {
+      window_callback_(WindowEndInfo{window_index, fed});
+    }
   }
   return fed;
 }

@@ -53,6 +53,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -126,6 +127,14 @@ std::vector<size_t> AssignSites(Router* router, size_t n);
 std::vector<size_t> WindowEnds(size_t n, size_t chunk_elements,
                                size_t num_sites);
 
+/// Passed to the driver's window callback after each coordinator drain.
+struct WindowEndInfo {
+  /// 1-based index of the window that just drained (1 = bootstrap).
+  uint64_t window_index = 0;
+  /// Stream arrivals absorbed so far, including this window.
+  uint64_t arrivals_total = 0;
+};
+
 /// Runs protocols over materialized streams with the schedule above.
 class SimulationDriver {
  public:
@@ -138,6 +147,18 @@ class SimulationDriver {
   /// Effective worker-thread count for the site phase.
   size_t threads() const { return threads_; }
   size_t chunk_elements() const { return options_.chunk_elements; }
+
+  /// Registers a callback invoked on the coordinator thread immediately
+  /// after every window's drain, while no site work is in flight — the
+  /// one moment the protocol's between-rounds query contract
+  /// (CoordinatorSketch / comm_stats / ExportSnapshot*) holds mid-run.
+  /// The serving layer (serve::ServingCoordinator) publishes snapshots
+  /// from here. The callback is part of the observer plane, never the
+  /// schedule: registering one must not change any protocol state or
+  /// message counts. Pass an empty function to clear.
+  void set_window_callback(std::function<void(const WindowEndInfo&)> cb) {
+    window_callback_ = std::move(cb);
+  }
 
   /// Scheduler counters of the most recent Run (reset at each Run start).
   /// windows / sites_scheduled / targeted_drains / drain_stalls are
@@ -191,6 +212,7 @@ class SimulationDriver {
   std::vector<WorkerLane> lanes_;     // cache-line-apart worker state
   std::vector<uint32_t> drain_sites_; // merged pending sites, ascending
   SchedulerStats stats_;
+  std::function<void(const WindowEndInfo&)> window_callback_;
 };
 
 }  // namespace stream

@@ -1,0 +1,284 @@
+// The serving layer's headline correctness harness (TSan-covered in CI):
+// N reader threads hammer the SnapshotStore/QueryEngine while the
+// SimulationDriver ingests at full rate, and every snapshot a reader
+// observes must be bit-identical — by canonical serialization — to the
+// single-threaded oracle's state at *some* window boundary. That rules
+// out torn reads (a half-published snapshot serializes to bytes no
+// boundary ever produced) and future leakage (a window index the oracle
+// never reached). A second suite pins an old snapshot and proves it
+// stays byte-stable while new windows publish over it.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hh/p2_threshold.h"
+#include "matrix/mp1_batched_fd.h"
+#include "serve/query_engine.h"
+#include "serve/serving_coordinator.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
+#include "stream/simulation_driver.h"
+
+namespace dmt {
+namespace {
+
+constexpr size_t kReaders = 4;
+constexpr size_t kSites = 8;
+constexpr size_t kChunk = 256;
+
+// Deterministic weighted HH workload: a skewed element mix, arrivals
+// round-robined over sites.
+void BuildHhWorkload(size_t n, std::vector<size_t>* sites,
+                     std::vector<stream::WeightedUpdate>* items) {
+  sites->resize(n);
+  items->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*sites)[i] = (i * 7) % kSites;
+    (*items)[i].element = (i * i + 3 * i) % 97;
+    (*items)[i].weight = 1.0 + static_cast<double>(i % 5);
+  }
+}
+
+// Deterministic matrix workload: low-dimensional rows with drifting
+// direction so the sketch keeps changing between windows.
+void BuildMatrixWorkload(size_t n, size_t dim, std::vector<size_t>* sites,
+                         std::vector<std::vector<double>>* rows) {
+  sites->resize(n);
+  rows->assign(n, std::vector<double>(dim, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    (*sites)[i] = (i * 5) % kSites;
+    for (size_t j = 0; j < dim; ++j) {
+      (*rows)[i][j] =
+          static_cast<double>(((i + 1) * (j + 2)) % 11) / 3.0 +
+          (j == i % dim ? 2.0 : 0.0);
+    }
+  }
+}
+
+// window_index -> canonical bytes at that boundary, recorded from a
+// single-threaded run. Window 0 is the pre-first-window empty snapshot.
+using OracleMap = std::map<uint64_t, std::vector<uint8_t>>;
+
+template <typename RunFn>
+OracleMap RecordOracle(const RunFn& run_with_serving) {
+  OracleMap oracle;
+  serve::SerializeSnapshot(*serve::BuildEmptySnapshot(), &oracle[0]);
+  serve::SnapshotStore store;
+  serve::ServingCoordinator serving(&store);
+  serving.set_publish_observer([&oracle](const serve::Snapshot& snap) {
+    serve::SerializeSnapshot(snap, &oracle[snap.window_index]);
+  });
+  run_with_serving(&serving, /*threads=*/1);
+  return oracle;
+}
+
+// Live run: ingestion on this thread (driver at `ingest_threads`),
+// kReaders reader threads acquiring/querying until ingestion finishes.
+// Every acquired snapshot must match the oracle bytes for its window,
+// and per-reader window indexes must be monotone (publication order).
+template <typename RunFn>
+void RunLiveAgainstOracle(const OracleMap& oracle,
+                          const RunFn& run_with_serving,
+                          size_t ingest_threads) {
+  serve::SnapshotStore store;
+  serve::ServingCoordinator serving(&store);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> observations{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&]() {
+      serve::SnapshotReader reader(&store);
+      std::vector<uint8_t> bytes;
+      uint64_t last_window = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        serve::SnapshotRef ref = reader.Acquire();
+        const serve::Snapshot& snap = *ref;
+        // Exercise real queries on the pinned snapshot — TSan sees any
+        // write racing these reads.
+        serve::QueryEngine engine(&snap);
+        if (snap.has_hh) {
+          (void)engine.TopK(3);
+          (void)engine.TopKMass(5);
+          (void)engine.ElementWeight(42);
+        }
+        if (snap.has_matrix && !snap.sketch.empty()) {
+          std::vector<double> x(snap.sketch.cols(), 0.0);
+          x[0] = 1.0;
+          (void)engine.CovarianceQuadraticForm(x);
+          (void)engine.TopSingularValues(2);
+        }
+        serve::SerializeSnapshot(snap, &bytes);
+        auto it = oracle.find(snap.window_index);
+        const bool ok = it != oracle.end() && it->second == bytes &&
+                        snap.window_index >= last_window;
+        if (!ok) mismatches.fetch_add(1, std::memory_order_relaxed);
+        last_window = snap.window_index;
+        observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  run_with_serving(&serving, ingest_threads);
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(observations.load(), 0u);
+  // After ingestion the current snapshot is the last oracle window.
+  serve::SnapshotReader reader(&store);
+  serve::SnapshotRef final_ref = reader.Acquire();
+  EXPECT_EQ(final_ref->window_index, oracle.rbegin()->first);
+  std::vector<uint8_t> bytes;
+  serve::SerializeSnapshot(*final_ref, &bytes);
+  EXPECT_EQ(bytes, oracle.rbegin()->second);
+}
+
+TEST(ServingConcurrencyTest, HhReadersMatchOracleWindows) {
+  std::vector<size_t> sites;
+  std::vector<stream::WeightedUpdate> items;
+  BuildHhWorkload(20000, &sites, &items);
+
+  const auto run = [&](serve::ServingCoordinator* serving, size_t threads) {
+    stream::SimulationOptions opt;
+    opt.threads = threads;
+    opt.chunk_elements = kChunk;
+    stream::SimulationDriver driver(opt);
+    hh::P2Threshold protocol(kSites, 0.1);
+    serving->AttachHH(&driver, &protocol);
+    driver.Run(&protocol, sites, items);
+    serving->Detach();
+  };
+
+  const OracleMap oracle = RecordOracle(run);
+  ASSERT_GT(oracle.size(), 10u);  // many windows, or the test proves little
+  RunLiveAgainstOracle(oracle, run, /*ingest_threads=*/2);
+}
+
+TEST(ServingConcurrencyTest, MatrixReadersMatchOracleWindows) {
+  std::vector<size_t> sites;
+  std::vector<std::vector<double>> rows;
+  BuildMatrixWorkload(6000, 8, &sites, &rows);
+
+  const auto run = [&](serve::ServingCoordinator* serving, size_t threads) {
+    stream::SimulationOptions opt;
+    opt.threads = threads;
+    opt.chunk_elements = kChunk;
+    stream::SimulationDriver driver(opt);
+    matrix::MP1BatchedFD protocol(kSites, 0.25);
+    serving->AttachMatrix(&driver, &protocol);
+    driver.Run(&protocol, sites, rows);
+    serving->Detach();
+  };
+
+  const OracleMap oracle = RecordOracle(run);
+  ASSERT_GT(oracle.size(), 5u);
+  RunLiveAgainstOracle(oracle, run, /*ingest_threads=*/2);
+}
+
+// An old epoch must stay valid and byte-identical while new windows
+// publish over it — the long-term pin half of the RCU contract.
+TEST(SnapshotPinningTest, PinnedSnapshotSurvivesLaterWindows) {
+  std::vector<size_t> sites;
+  std::vector<stream::WeightedUpdate> items;
+  BuildHhWorkload(20000, &sites, &items);
+  const std::vector<size_t> first_half_sites(sites.begin(),
+                                             sites.begin() + 10000);
+  const std::vector<stream::WeightedUpdate> first_half(items.begin(),
+                                                       items.begin() + 10000);
+  const std::vector<size_t> second_half_sites(sites.begin() + 10000,
+                                              sites.end());
+  const std::vector<stream::WeightedUpdate> second_half(items.begin() + 10000,
+                                                        items.end());
+
+  serve::SnapshotStore store;
+  stream::SimulationOptions opt;
+  opt.threads = 2;
+  opt.chunk_elements = kChunk;
+  stream::SimulationDriver driver(opt);
+  hh::P2Threshold protocol(kSites, 0.1);
+  // Declared after the driver: the coordinator's destructor unhooks the
+  // driver callback, so the driver must outlive it.
+  serve::ServingCoordinator serving(&store);
+  serving.AttachHH(&driver, &protocol);
+
+  driver.Run(&protocol, first_half_sites, first_half);
+
+  serve::SnapshotReader reader(&store);
+  serve::SnapshotRef pinned = reader.Acquire();
+  std::vector<uint8_t> before;
+  serve::SerializeSnapshot(*pinned, &before);
+  const uint64_t pinned_window = pinned->window_index;
+  const uint64_t reclaimed_before = store.reclaimed_count();
+
+  driver.Run(&protocol, second_half_sites, second_half);
+  EXPECT_GT(serving.windows_published(), 0u);
+
+  // The pin held: bytes unchanged, snapshot untouched by later windows.
+  std::vector<uint8_t> after;
+  serve::SerializeSnapshot(*pinned, &after);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(pinned->window_index, pinned_window);
+
+  // Newer windows were reclaimed around the pin (the pin blocks only its
+  // own publication), and dropping the pin lets the next publish free it.
+  EXPECT_GT(store.reclaimed_count(), reclaimed_before);
+  EXPECT_GE(store.retired_count(), 1u);
+  pinned.Reset();
+  EXPECT_FALSE(pinned);
+  serving.PublishWindow(serving.windows_published() + 1, items.size());
+  // With the pin gone and every reader quiescent, the next publish
+  // reclaims both the formerly-pinned snapshot and the superseded one.
+  EXPECT_EQ(store.retired_count(), 0u);
+}
+
+// Pins taken mid-ingestion from a racing reader thread stay byte-stable
+// too (epoch guard + refcount interplay under churn).
+TEST(SnapshotPinningTest, ConcurrentPinsStayStable) {
+  std::vector<size_t> sites;
+  std::vector<stream::WeightedUpdate> items;
+  BuildHhWorkload(20000, &sites, &items);
+
+  serve::SnapshotStore store;
+  stream::SimulationOptions opt;
+  opt.threads = 2;
+  opt.chunk_elements = kChunk;
+  stream::SimulationDriver driver(opt);
+  hh::P2Threshold protocol(kSites, 0.1);
+  serve::ServingCoordinator serving(&store);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&]() {
+      serve::SnapshotReader reader(&store);
+      while (!done.load(std::memory_order_acquire)) {
+        serve::SnapshotRef pin = reader.Acquire();
+        const uint64_t sum_before = serve::SnapshotChecksum(*pin);
+        // Hold the pin across publications, then re-verify.
+        std::this_thread::yield();
+        if (serve::SnapshotChecksum(*pin) != sum_before) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  serving.AttachHH(&driver, &protocol);
+  driver.Run(&protocol, sites, items);
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+}  // namespace
+}  // namespace dmt

@@ -1,0 +1,151 @@
+// Edge-case contract of the serving query surface: empty pre-window
+// snapshots, k beyond the tracked count, rank beyond the sketch rank,
+// zero-row FD sketches — all defined results; invalid *arguments* abort
+// (death tests).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hh/p1_batched_mg.h"
+#include "matrix/mp1_batched_fd.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "sketch/sliding_window_fd.h"
+
+namespace dmt {
+namespace {
+
+TEST(ServingEdgeTest, EmptySnapshotEveryQueryDefined) {
+  std::unique_ptr<const serve::Snapshot> snap = serve::BuildEmptySnapshot();
+  serve::QueryEngine engine(snap.get());
+
+  EXPECT_EQ(engine.window_index(), 0u);
+  EXPECT_EQ(engine.items_ingested(), 0u);
+  EXPECT_EQ(engine.TrackedCount(), 0u);
+  EXPECT_TRUE(engine.TopK(5).empty());
+  EXPECT_EQ(engine.TopKMass(5), 0.0);
+  EXPECT_EQ(engine.ElementWeight(123), 0.0);
+  EXPECT_EQ(engine.TotalWeight(), 0.0);
+  EXPECT_TRUE(engine.HeavyHitters(0.1, 0.05).empty());
+  EXPECT_EQ(engine.SketchRows(), 0u);
+  EXPECT_EQ(engine.SketchCols(), 0u);
+  EXPECT_EQ(engine.SketchSquaredFrobenius(), 0.0);
+  EXPECT_TRUE(engine.TopSingularValues(3).empty());
+  EXPECT_EQ(engine.CovarianceQuadraticForm({1.0, 2.0}), 0.0);
+  // Projection on an empty sketch: the zero vector of the input's size.
+  const std::vector<double> p = engine.ProjectRow({1.0, 2.0, 3.0}, 2);
+  EXPECT_EQ(p, std::vector<double>({0.0, 0.0, 0.0}));
+}
+
+TEST(ServingEdgeTest, KLargerThanTrackedCountClamps) {
+  hh::P1BatchedMG protocol(2, 0.1);
+  for (uint64_t e = 0; e < 5; ++e) {
+    protocol.Process(e % 2, e, static_cast<double>(e + 1));
+  }
+  protocol.Synchronize();
+  std::unique_ptr<const serve::Snapshot> snap =
+      serve::BuildSnapshot(protocol, 1, 5);
+  serve::QueryEngine engine(snap.get());
+
+  const size_t tracked = engine.TrackedCount();
+  ASSERT_GT(tracked, 0u);
+  EXPECT_EQ(engine.TopK(1000000).size(), tracked);
+  // The clamped mass equals the full tracked mass.
+  EXPECT_EQ(engine.TopKMass(1000000), engine.TopKMass(tracked));
+  // TopK order: weight descending, ties by ascending element.
+  const std::vector<serve::HHEntry> top = engine.TopK(tracked);
+  for (size_t i = 0; i + 1 < top.size(); ++i) {
+    EXPECT_GE(top[i].weight, top[i + 1].weight);
+    if (top[i].weight == top[i + 1].weight) {
+      EXPECT_LT(top[i].element, top[i + 1].element);
+    }
+  }
+}
+
+TEST(ServingEdgeTest, RankBeyondSketchRankClamps) {
+  matrix::MP1BatchedFD protocol(2, 0.3);
+  for (size_t i = 0; i < 200; ++i) {
+    std::vector<double> row(6, 0.0);
+    row[i % 6] = 1.0 + static_cast<double>(i % 3);
+    protocol.ProcessRow(i % 2, row);
+  }
+  std::unique_ptr<const serve::Snapshot> snap =
+      serve::BuildSnapshot(protocol, 1, 200);
+  serve::QueryEngine engine(snap.get());
+  ASSERT_GT(engine.SketchRows(), 0u);
+
+  const size_t r = snap->sigma.size();
+  ASSERT_GT(r, 0u);
+  // Requests beyond the factorization rank clamp to it, bit-exactly.
+  EXPECT_EQ(engine.TopSingularValues(1000000), engine.TopSingularValues(r));
+  std::vector<double> x(6, 1.0);
+  EXPECT_EQ(engine.ProjectRow(x, 1000000), engine.ProjectRow(x, r));
+}
+
+TEST(ServingEdgeTest, ZeroRowFdSketchIsDefined) {
+  // A sliding-window FD that never saw a row exports an empty matrix
+  // snapshot: has_matrix set, every query the documented empty result.
+  sketch::SlidingWindowFD window_fd(/*window=*/16, /*ell=*/4);
+  std::unique_ptr<const serve::Snapshot> snap =
+      serve::BuildWindowedSnapshot(window_fd, /*include_straddling=*/true,
+                                   /*window_index=*/1, /*items_ingested=*/0);
+  EXPECT_TRUE(snap->has_matrix);
+  serve::QueryEngine engine(snap.get());
+  EXPECT_EQ(engine.SketchRows(), 0u);
+  EXPECT_EQ(engine.SketchSquaredFrobenius(), 0.0);
+  EXPECT_TRUE(engine.TopSingularValues(2).empty());
+  EXPECT_EQ(engine.CovarianceQuadraticForm({1.0, 2.0, 3.0}), 0.0);
+  EXPECT_EQ(engine.ProjectRow({1.0, 2.0}, 3),
+            std::vector<double>({0.0, 0.0}));
+}
+
+TEST(ServingEdgeTest, WindowedSnapshotMatchesSketchBytes) {
+  sketch::SlidingWindowFD window_fd(/*window=*/32, /*ell=*/4);
+  for (size_t i = 0; i < 50; ++i) {
+    std::vector<double> row(5, 0.0);
+    row[i % 5] = static_cast<double>(1 + i % 7);
+    window_fd.Append(row);
+  }
+  std::unique_ptr<const serve::Snapshot> snap = serve::BuildWindowedSnapshot(
+      window_fd, /*include_straddling=*/true, 1, 50);
+  // The exported snapshot sketch is exactly ExportSketch's matrix.
+  const linalg::Matrix direct = window_fd.ExportSketch(true);
+  ASSERT_EQ(snap->sketch.rows(), direct.rows());
+  ASSERT_EQ(snap->sketch.cols(), direct.cols());
+  for (size_t i = 0; i < direct.rows(); ++i) {
+    for (size_t j = 0; j < direct.cols(); ++j) {
+      EXPECT_EQ(snap->sketch(i, j), direct(i, j));
+    }
+  }
+}
+
+TEST(ServingEdgeDeathTest, InvalidArgumentsDie) {
+  std::unique_ptr<const serve::Snapshot> snap = serve::BuildEmptySnapshot();
+  serve::QueryEngine engine(snap.get());
+  EXPECT_DEATH((void)engine.TopK(0), "DMT_CHECK");
+  EXPECT_DEATH((void)engine.TopKMass(0), "DMT_CHECK");
+  EXPECT_DEATH((void)engine.TopSingularValues(0), "DMT_CHECK");
+  EXPECT_DEATH((void)engine.ProjectRow({1.0}, 0), "DMT_CHECK");
+  EXPECT_DEATH((void)engine.HeavyHitters(0.0, 0.1), "DMT_CHECK");
+  EXPECT_DEATH((void)engine.HeavyHitters(0.1, -1.0), "DMT_CHECK");
+  EXPECT_DEATH(serve::QueryEngine(nullptr), "DMT_CHECK");
+}
+
+TEST(ServingEdgeDeathTest, DimensionMismatchDies) {
+  matrix::MP1BatchedFD protocol(2, 0.3);
+  for (size_t i = 0; i < 50; ++i) {
+    std::vector<double> row(4, 1.0);
+    protocol.ProcessRow(i % 2, row);
+  }
+  std::unique_ptr<const serve::Snapshot> snap =
+      serve::BuildSnapshot(protocol, 1, 50);
+  serve::QueryEngine engine(snap.get());
+  ASSERT_GT(engine.SketchRows(), 0u);
+  EXPECT_DEATH((void)engine.CovarianceQuadraticForm({1.0}), "DMT_CHECK");
+  EXPECT_DEATH((void)engine.ProjectRow({1.0, 2.0, 3.0}, 2), "DMT_CHECK");
+}
+
+}  // namespace
+}  // namespace dmt

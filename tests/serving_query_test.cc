@@ -1,0 +1,229 @@
+// Property test (serving satellite): at every window boundary of a run,
+// the published snapshot — and every QueryEngine answer computed from it
+// — is bit-identical to querying the protocol's coordinator state
+// directly at that same boundary. Covers every protocol in the repo that
+// exposes a coordinator sketch: the six HH protocols and the seven
+// matrix protocols.
+//
+// "Directly" means: from inside the publish observer (coordinator
+// thread, between rounds — the protocols' documented query window),
+// export a second snapshot straight off the protocol and compare
+// canonical bytes, then cross-check individual query answers against the
+// protocol's own EstimateElementWeight / EstimateTotalWeight /
+// CoordinatorSketch with EXPECT_EQ on doubles (bit-exact, no tolerance).
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hh/exact_tracker.h"
+#include "hh/p1_batched_mg.h"
+#include "hh/p2_threshold.h"
+#include "hh/p3_sampling.h"
+#include "hh/p4_randomized.h"
+#include "matrix/baselines.h"
+#include "matrix/mp1_batched_fd.h"
+#include "matrix/mp2_svd_threshold.h"
+#include "matrix/mp3_sampling.h"
+#include "matrix/mp4_experimental.h"
+#include "serve/query_engine.h"
+#include "serve/serving_coordinator.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
+#include "stream/simulation_driver.h"
+
+namespace dmt {
+namespace {
+
+constexpr size_t kSites = 4;
+constexpr size_t kChunk = 128;
+constexpr size_t kDim = 8;
+
+std::vector<uint8_t> Bytes(const serve::Snapshot& snap) {
+  std::vector<uint8_t> out;
+  serve::SerializeSnapshot(snap, &out);
+  return out;
+}
+
+// --- HH family ---
+
+void RunHhPropertyCheck(hh::HeavyHitterProtocol* protocol) {
+  const size_t n = 4000;
+  std::vector<size_t> sites(n);
+  std::vector<stream::WeightedUpdate> items(n);
+  for (size_t i = 0; i < n; ++i) {
+    sites[i] = (i * 3) % kSites;
+    items[i].element = (i * i + 5 * i) % 61;
+    items[i].weight = 1.0 + static_cast<double>(i % 4);
+  }
+
+  serve::SnapshotStore store;
+  stream::SimulationOptions opt;
+  opt.threads = 2;
+  opt.chunk_elements = kChunk;
+  stream::SimulationDriver driver(opt);
+  serve::ServingCoordinator serving(&store);
+  serving.AttachHH(&driver, protocol);
+
+  size_t windows_checked = 0;
+  serving.set_publish_observer([&](const serve::Snapshot& snap) {
+    ++windows_checked;
+    // Whole-snapshot bit-identity against a direct export.
+    std::unique_ptr<const serve::Snapshot> direct = serve::BuildSnapshot(
+        *protocol, snap.window_index, snap.items_ingested);
+    ASSERT_EQ(Bytes(snap), Bytes(*direct));
+
+    // Individual answers against the protocol's own query surface.
+    serve::QueryEngine engine(&snap);
+    EXPECT_EQ(engine.TotalWeight(), protocol->EstimateTotalWeight());
+    for (uint64_t e : {0ull, 1ull, 7ull, 42ull, 60ull, 1000000ull}) {
+      EXPECT_EQ(engine.ElementWeight(e),
+                protocol->EstimateElementWeight(e));
+    }
+    const std::vector<serve::HHEntry> top = engine.TopK(5);
+    double mass = 0.0;
+    for (const serve::HHEntry& e : top) {
+      EXPECT_EQ(e.weight, protocol->EstimateElementWeight(e.element));
+      mass += e.weight;
+    }
+    EXPECT_EQ(engine.TopKMass(5), mass);
+  });
+
+  driver.Run(protocol, sites, items);
+  serving.Detach();
+  EXPECT_GT(windows_checked, 10u);
+}
+
+TEST(ServingQueryPropertyTest, P1BatchedMG) {
+  hh::P1BatchedMG p(kSites, 0.05);
+  RunHhPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, P2Threshold) {
+  hh::P2Threshold p(kSites, 0.05);
+  RunHhPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, P3SamplingWoR) {
+  hh::P3SamplingWoR p(kSites, 0.2, /*seed=*/11);
+  RunHhPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, P3SamplingWR) {
+  hh::P3SamplingWR p(kSites, 0.2, /*seed=*/12);
+  RunHhPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, P4Randomized) {
+  hh::P4Randomized p(kSites, 0.2, /*seed=*/13, /*copies=*/2);
+  RunHhPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, ExactTracker) {
+  hh::ExactTracker p(kSites);
+  RunHhPropertyCheck(&p);
+}
+
+// --- Matrix family ---
+
+void RunMatrixPropertyCheck(matrix::MatrixTrackingProtocol* protocol) {
+  const size_t n = 1200;
+  std::vector<size_t> sites(n);
+  std::vector<std::vector<double>> rows(n, std::vector<double>(kDim));
+  for (size_t i = 0; i < n; ++i) {
+    sites[i] = (i * 3) % kSites;
+    for (size_t j = 0; j < kDim; ++j) {
+      rows[i][j] = static_cast<double>(((i + 2) * (j + 3)) % 13) / 4.0 +
+                   (j == i % kDim ? 1.5 : 0.0);
+    }
+  }
+
+  serve::SnapshotStore store;
+  stream::SimulationOptions opt;
+  opt.threads = 2;
+  opt.chunk_elements = kChunk;
+  stream::SimulationDriver driver(opt);
+  serve::ServingCoordinator serving(&store);
+  serving.AttachMatrix(&driver, protocol);
+
+  std::vector<double> probe(kDim, 0.0);
+  for (size_t j = 0; j < kDim; ++j) {
+    probe[j] = 1.0 / static_cast<double>(j + 1);
+  }
+
+  size_t windows_checked = 0;
+  serving.set_publish_observer([&](const serve::Snapshot& snap) {
+    ++windows_checked;
+    std::unique_ptr<const serve::Snapshot> direct = serve::BuildSnapshot(
+        *protocol, snap.window_index, snap.items_ingested);
+    ASSERT_EQ(Bytes(snap), Bytes(*direct));
+
+    serve::QueryEngine engine(&snap);
+    const linalg::Matrix sketch = protocol->ExportSnapshotSketch();
+    if (sketch.empty()) return;
+    // Covariance quadratic form ‖Bx‖²: identical code path over an
+    // identical matrix, so bit-exact.
+    EXPECT_EQ(engine.CovarianceQuadraticForm(probe),
+              sketch.SquaredNormAlong(probe));
+    std::vector<double> e0(kDim, 0.0);
+    e0[0] = 1.0;
+    EXPECT_EQ(engine.CovarianceQuadraticForm(e0),
+              sketch.SquaredNormAlong(e0));
+    EXPECT_EQ(engine.SketchSquaredFrobenius(),
+              sketch.SquaredFrobeniusNorm());
+    // Projection / singular values: identical to an engine built over
+    // the directly-exported snapshot (same factorization inputs).
+    serve::QueryEngine direct_engine(direct.get());
+    EXPECT_EQ(engine.TopSingularValues(3),
+              direct_engine.TopSingularValues(3));
+    EXPECT_EQ(engine.ProjectRow(probe, 2),
+              direct_engine.ProjectRow(probe, 2));
+  });
+
+  driver.Run(protocol, sites, rows);
+  serving.Detach();
+  EXPECT_GT(windows_checked, 5u);
+}
+
+TEST(ServingQueryPropertyTest, MP1BatchedFD) {
+  matrix::MP1BatchedFD p(kSites, 0.2);
+  RunMatrixPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, MP2SvdThreshold) {
+  matrix::MP2SvdThreshold p(kSites, 0.2);
+  RunMatrixPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, MP3SamplingWoR) {
+  matrix::MP3SamplingWoR p(kSites, 0.3, /*seed=*/21);
+  RunMatrixPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, MP3SamplingWR) {
+  matrix::MP3SamplingWR p(kSites, 0.3, /*seed=*/22);
+  RunMatrixPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, MP4Experimental) {
+  // MP4 has no concurrent site updates; the driver falls back to the
+  // serial schedule — publication still happens at every boundary.
+  matrix::MP4Experimental p(kSites, 0.3, /*seed=*/23);
+  RunMatrixPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, NaiveFdBaseline) {
+  matrix::NaiveFdBaseline p(kSites, /*ell=*/6);
+  RunMatrixPropertyCheck(&p);
+}
+
+TEST(ServingQueryPropertyTest, NaiveSvdBaseline) {
+  matrix::NaiveSvdBaseline p(kSites, kDim, /*k=*/3);
+  RunMatrixPropertyCheck(&p);
+}
+
+}  // namespace
+}  // namespace dmt

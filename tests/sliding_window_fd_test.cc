@@ -7,6 +7,7 @@
 
 #include "linalg/jacobi_eigen.h"
 #include "linalg/spectral.h"
+#include "serve/snapshot.h"
 #include "util/rng.h"
 
 namespace dmt {
@@ -146,6 +147,59 @@ TEST(SlidingWindowFdTest, RowsSeenCounts) {
   SlidingWindowFD sw(10, 2);
   for (int i = 0; i < 7; ++i) sw.Append({1.0});
   EXPECT_EQ(sw.rows_seen(), 7u);
+}
+
+// Serving-layer deep-copy contract: a snapshot pinned via
+// serve::BuildWindowedSnapshot must stay bit-identical while the window
+// keeps sliding — appends trigger merges, expiries and FD shrinks that
+// rewrite the live block buffers, and none of it may show through the
+// pinned export.
+TEST(SlidingWindowFdSnapshotTest, PinnedSnapshotSurvivesAppends) {
+  SlidingWindowFD sw(64, 4);
+  Rng rng(7);
+  const auto next_row = [&rng]() {
+    std::vector<double> row(6);
+    for (auto& v : row) v = rng.NextGaussian();
+    return row;
+  };
+  for (int i = 0; i < 100; ++i) sw.Append(next_row());
+
+  const auto pinned = serve::BuildWindowedSnapshot(
+      sw, /*include_straddling=*/true, /*window_index=*/1,
+      /*items_ingested=*/100);
+  const uint64_t checksum = serve::SnapshotChecksum(*pinned);
+  ASSERT_GT(pinned->sketch.rows(), 0u);
+
+  // Slide far past the pinned state: every original block merges,
+  // expires, or shrinks at least once.
+  for (int i = 0; i < 500; ++i) sw.Append(next_row());
+
+  EXPECT_EQ(serve::SnapshotChecksum(*pinned), checksum);
+}
+
+// ExportSketch (the deep-copy path the snapshot builder uses) must be
+// value-identical to Sketch() at the same instant, for both straddling
+// modes.
+TEST(SlidingWindowFdSnapshotTest, ExportSketchMatchesSketch) {
+  SlidingWindowFD sw(48, 4);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(5);
+    for (auto& v : row) v = rng.NextGaussian();
+    sw.Append(row);
+
+    for (bool straddling : {true, false}) {
+      const Matrix a = sw.Sketch(straddling);
+      const Matrix b = sw.ExportSketch(straddling);
+      ASSERT_EQ(a.rows(), b.rows());
+      ASSERT_EQ(a.cols(), b.cols());
+      for (size_t r = 0; r < a.rows(); ++r) {
+        for (size_t c = 0; c < a.cols(); ++c) {
+          ASSERT_EQ(a(r, c), b(r, c));
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Unit tests for the RCU snapshot store: publication/reclamation
+// accounting, pin semantics, reader-slot lifecycle, and a raw
+// writer-vs-readers stress run (TSan-covered; the suite name matches the
+// CI TSan regex via "Snapshot").
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
+
+namespace dmt {
+namespace {
+
+// A distinguishable snapshot: `tag` entries of weight `tag`, internally
+// consistent by construction (checksummable).
+std::unique_ptr<const serve::Snapshot> MakeTagged(uint64_t tag) {
+  auto snap = std::make_unique<serve::Snapshot>();
+  snap->window_index = tag;
+  snap->items_ingested = 10 * tag;
+  snap->has_hh = true;
+  double total = 0.0;
+  for (uint64_t i = 0; i < tag % 16; ++i) {
+    const double w = static_cast<double>(tag);
+    snap->by_weight.push_back(serve::HHEntry{i, w});
+    snap->by_element.push_back(serve::HHEntry{i, w});
+    total += w;
+    snap->prefix_weight.push_back(total);
+  }
+  snap->total_weight = total;
+  return snap;
+}
+
+TEST(SnapshotStoreTest, StartsWithEmptySnapshotPublished) {
+  serve::SnapshotStore store;
+  serve::SnapshotReader reader(&store);
+  serve::SnapshotRef ref = reader.Acquire();
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref->window_index, 0u);
+  EXPECT_FALSE(ref->has_hh);
+  EXPECT_FALSE(ref->has_matrix);
+}
+
+TEST(SnapshotStoreTest, PublishSupersedesAndReclaims) {
+  serve::SnapshotStore store;
+  serve::SnapshotReader reader(&store);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    store.Publish(MakeTagged(i));
+    serve::SnapshotRef ref = reader.Acquire();
+    EXPECT_EQ(ref->window_index, i);
+  }
+  // Unpinned superseded snapshots are reclaimed promptly: nothing should
+  // pile up beyond what a single in-flight acquire can block.
+  EXPECT_LE(store.retired_count(), 1u);
+  EXPECT_GE(store.reclaimed_count(), 99u);
+}
+
+TEST(SnapshotStoreTest, PinBlocksReclamationUntilReleased) {
+  serve::SnapshotStore store;
+  serve::SnapshotReader reader(&store);
+  store.Publish(MakeTagged(7));
+  serve::SnapshotRef pin = reader.Acquire();
+  const uint64_t sum = serve::SnapshotChecksum(*pin);
+
+  store.Publish(MakeTagged(8));
+  store.Publish(MakeTagged(9));
+  // The pinned publication cannot be freed...
+  EXPECT_GE(store.retired_count(), 1u);
+  // ...and its bytes are untouched.
+  EXPECT_EQ(serve::SnapshotChecksum(*pin), sum);
+  EXPECT_EQ(pin->window_index, 7u);
+
+  pin.Reset();
+  store.Publish(MakeTagged(10));
+  EXPECT_EQ(store.retired_count(), 0u);
+}
+
+TEST(SnapshotStoreTest, MovedRefKeepsPinMovedFromIsEmpty) {
+  serve::SnapshotStore store;
+  serve::SnapshotReader reader(&store);
+  store.Publish(MakeTagged(3));
+  serve::SnapshotRef a = reader.Acquire();
+  serve::SnapshotRef b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from probe
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->window_index, 3u);
+  store.Publish(MakeTagged(4));
+  EXPECT_GE(store.retired_count(), 1u);  // b still pins window 3
+  b.Reset();
+  store.Publish(MakeTagged(5));
+  EXPECT_EQ(store.retired_count(), 0u);
+}
+
+TEST(SnapshotStoreTest, ReaderSlotsRecycle) {
+  serve::SnapshotStore store(/*max_readers=*/2);
+  // Sequential readers far beyond the slot count: destruction must
+  // recycle slots or the third construction would abort.
+  for (int i = 0; i < 10; ++i) {
+    serve::SnapshotReader a(&store);
+    serve::SnapshotReader b(&store);
+    (void)a.Acquire();
+    (void)b.Acquire();
+  }
+}
+
+TEST(SnapshotStoreTest, TooManyConcurrentReadersDies) {
+  serve::SnapshotStore store(/*max_readers=*/1);
+  serve::SnapshotReader only(&store);
+  EXPECT_DEATH({ serve::SnapshotReader second(&store); }, "DMT_CHECK");
+}
+
+TEST(SnapshotStoreTest, PublishNullDies) {
+  serve::SnapshotStore store;
+  EXPECT_DEATH(store.Publish(nullptr), "DMT_CHECK");
+}
+
+// Raw stress: one writer publishing tagged snapshots flat out, several
+// readers validating internal consistency of whatever they acquire.
+// Under TSan this is the direct probe of the acquire/publish/reclaim
+// memory-order protocol, without the driver in the loop.
+TEST(SnapshotStoreTest, WriterVsReadersStress) {
+  serve::SnapshotStore store;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> bad{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&]() {
+      serve::SnapshotReader reader(&store);
+      while (!done.load(std::memory_order_acquire)) {
+        serve::SnapshotRef ref = reader.Acquire();
+        const serve::Snapshot& s = *ref;
+        // Invariants every MakeTagged (and the initial empty) snapshot
+        // satisfies; a torn or reclaimed-under-us snapshot breaks them.
+        const size_t expect_n =
+            s.window_index == 0 ? 0 : s.window_index % 16;
+        bool ok = s.by_weight.size() == expect_n &&
+                  s.by_element.size() == expect_n &&
+                  s.prefix_weight.size() == expect_n;
+        for (const serve::HHEntry& e : s.by_weight) {
+          ok = ok && e.weight == static_cast<double>(s.window_index);
+        }
+        ok = ok && s.items_ingested == 10 * s.window_index;
+        if (!ok) bad.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (uint64_t i = 1; i <= 3000; ++i) store.Publish(MakeTagged(i));
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  // Mid-run reclamation counts depend on scheduling (a reader preempted
+  // inside Acquire legitimately holds back the whole backlog — that is
+  // the epoch grace period), so assert the deterministic end state
+  // instead: with every reader joined, the next publish reclaims every
+  // one of the 3001 retirements (3000 tagged + the initial empty).
+  store.Publish(MakeTagged(3001));
+  EXPECT_EQ(store.retired_count(), 0u);
+  EXPECT_EQ(store.reclaimed_count(), 3001u);
+}
+
+}  // namespace
+}  // namespace dmt

@@ -20,6 +20,9 @@
 #include "net/remote.h"
 #include "net/transport.h"
 #include "net/workload.h"
+#include "serve/query_engine.h"
+#include "serve/serving_coordinator.h"
+#include "serve/snapshot_store.h"
 #include "stream/comm_stats.h"
 
 namespace {
@@ -90,10 +93,25 @@ int main(int argc, char** argv) {
     channels.push_back(std::move(conn));
   }
 
+  // Publish a queryable RCU snapshot after every drained window, exactly
+  // as the in-process serving path does — in-process readers (none in
+  // this CLI, but anything linked into the coordinator process) can
+  // acquire and query without ever blocking the wire loop.
+  dmt::serve::SnapshotStore snapshot_store;
+  dmt::serve::ServingCoordinator serving(&snapshot_store);
+  if (protocol.hh != nullptr) {
+    serving.AttachHHProtocol(protocol.hh.get());
+  } else {
+    serving.AttachMatrixProtocol(protocol.mp.get());
+  }
+  const auto on_window = [&](size_t w) {
+    serving.PublishWindow(w, workload.window_ends[w - 1]);
+  };
+
   dmt::net::WireCoordinatorReport report;
   if (!dmt::net::RunWireCoordinator(protocol.adapter.get(), &channels,
                                     workload.window_ends.size(), &report,
-                                    &error)) {
+                                    &error, on_window)) {
     return Fail(error);
   }
 
@@ -105,6 +123,17 @@ int main(int argc, char** argv) {
                              : protocol.mp->per_site_messages();
   std::printf("run complete: %llu frames received\n",
               static_cast<unsigned long long>(report.frames_received));
+  {
+    dmt::serve::SnapshotReader snapshot_reader(&snapshot_store);
+    dmt::serve::SnapshotRef snap = snapshot_reader.Acquire();
+    dmt::serve::QueryEngine engine(&*snap);
+    std::printf("  serving: %llu windows published; final snapshot "
+                "window=%llu tracked=%zu sketch=%zux%zu\n",
+                static_cast<unsigned long long>(serving.windows_published()),
+                static_cast<unsigned long long>(engine.window_index()),
+                engine.TrackedCount(), engine.SketchRows(),
+                engine.SketchCols());
+  }
   PrintCommStats(stats);
   std::printf("  bytes on the wire: up=%llu down=%llu\n",
               static_cast<unsigned long long>(report.total_bytes_up()),

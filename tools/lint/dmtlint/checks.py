@@ -31,7 +31,7 @@ from .annotations import BIND_WINDOW
 
 DETERMINISM_DIRS = (
     "src/stream", "src/hh", "src/matrix", "src/sketch", "src/core",
-    "src/net",
+    "src/net", "src/serve",
 )
 
 # Individual files swept in addition to the directories above. src/util is
