@@ -51,8 +51,11 @@ namespace bench {
 /// Emits a BENCH_*.json artifact the way the repo tracks perf
 /// trajectories. The harness prints the standard envelope — bench name,
 /// the machine's detected hardware-thread count (so single-core
-/// recordings like the BENCH_parallel_sites.json caveat are
-/// machine-checkable), and the DMT_SCALE in effect — then `body(f)`
+/// recordings are machine-checkable: the checked-in
+/// BENCH_parallel_sites.json and BENCH_serving_mixed.json both remain
+/// 1-core recordings with the degraded_environment marker set —
+/// re-record on multicore hardware before quoting concurrency numbers
+/// from them), and the DMT_SCALE in effect — then `body(f)`
 /// appends the bench-specific fields (two-space indented, no trailing
 /// comma on the last one) before the closing brace. The JSON goes to
 /// stdout and, when `path` is non-null, to that file too (the repo keeps

@@ -1,6 +1,7 @@
 #include "net/frame.h"
 
 #include "util/codec.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace net {
@@ -55,6 +56,7 @@ void AppendFrame(MsgType type, const uint8_t* payload, size_t n,
   if (n != 0) std::memcpy(out->data() + at + kFrameHeaderBytes, payload, n);
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeFrameHeader(const uint8_t* header, FrameHeader* out,
                        std::string* error) {
   const char* h = reinterpret_cast<const char*>(header);
@@ -91,6 +93,7 @@ bool DecodeFrameHeader(const uint8_t* header, FrameHeader* out,
   return true;
 }
 
+DMT_UNTRUSTED_INPUT
 bool CheckFrameCrc(const FrameHeader& header, const uint8_t* payload,
                    std::string* error) {
   const uint32_t crc = Crc32(payload, header.payload_len);

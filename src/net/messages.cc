@@ -1,6 +1,7 @@
 #include "net/messages.h"
 
 #include "util/codec.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace net {
@@ -24,6 +25,7 @@ void EncodeHello(const HelloMsg& m, std::vector<uint8_t>* out) {
   w.PutBytes(m.protocol.data(), m.protocol.size());
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeHello(const uint8_t* payload, size_t n, HelloMsg* out) {
   ByteReader r(payload, n);
   out->site = r.Get<uint32_t>();
@@ -41,6 +43,7 @@ void EncodeWindowEnd(const WindowEndMsg& m, std::vector<uint8_t>* out) {
   w.Put<uint64_t>(m.window);
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeWindowEnd(const uint8_t* payload, size_t n, WindowEndMsg* out) {
   ByteReader r(payload, n);
   out->window = r.Get<uint64_t>();
@@ -53,6 +56,7 @@ void EncodeBroadcast(const BroadcastMsg& m, std::vector<uint8_t>* out) {
   w.Put<double>(m.value);
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeBroadcast(const uint8_t* payload, size_t n, BroadcastMsg* out) {
   ByteReader r(payload, n);
   out->window = r.Get<uint64_t>();
@@ -73,6 +77,7 @@ void EncodeHHFlush(const HHFlushMsg& m, std::vector<uint8_t>* out) {
   }
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeHHFlush(const uint8_t* payload, size_t n, HHFlushMsg* out) {
   ByteReader r(payload, n);
   out->weight = r.Get<double>();
@@ -94,6 +99,7 @@ void EncodeMatrixScalar(const MatrixScalarMsg& m, std::vector<uint8_t>* out) {
   w.Put<double>(m.value);
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeMatrixScalar(const uint8_t* payload, size_t n,
                         MatrixScalarMsg* out) {
   ByteReader r(payload, n);
@@ -109,6 +115,7 @@ void EncodeMatrixDirection(const MatrixDirectionMsg& m,
   w.PutBytes(m.dir.data(), m.dir.size() * sizeof(double));
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeMatrixDirection(const uint8_t* payload, size_t n,
                            MatrixDirectionMsg* out) {
   ByteReader r(payload, n);
@@ -133,6 +140,7 @@ void EncodeFdSketch(const FdSketchMsg& m, std::vector<uint8_t>* out) {
   }
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeFdSketch(const uint8_t* payload, size_t n, FdSketchMsg* out) {
   ByteReader r(payload, n);
   out->ell = r.Get<uint32_t>();
@@ -164,6 +172,7 @@ void EncodeSiteDone(const SiteDoneMsg& m, std::vector<uint8_t>* out) {
   w.Put<uint64_t>(m.windows);
 }
 
+DMT_UNTRUSTED_INPUT
 bool DecodeSiteDone(const uint8_t* payload, size_t n, SiteDoneMsg* out) {
   ByteReader r(payload, n);
   out->windows = r.Get<uint64_t>();

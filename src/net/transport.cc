@@ -155,6 +155,11 @@ bool SendFrame(Connection* conn, MsgType type,
   return conn->Send(frame.data(), frame.size());
 }
 
+// The virtual Connection::Recv calls are not statically resolvable; every
+// implementation is a blocking byte copy that reports failure by returning
+// false and never interprets the bytes it moves.
+// dmt-lint: allow(untrusted-abort-path): virtual Recv is a byte copy, returns false on failure
+DMT_UNTRUSTED_INPUT
 bool RecvFrame(Connection* conn, FrameHeader* header,
                std::vector<uint8_t>* payload, std::string* error) {
   uint8_t raw[kFrameHeaderBytes];

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace net {
@@ -65,8 +66,11 @@ class Connection {
   }
 
  private:
-  std::atomic<uint64_t> bytes_sent_{0};
-  std::atomic<uint64_t> bytes_received_{0};
+  // Pure statistics (the "bytes on the wire" report column): relaxed per
+  // the DMT_ATOMIC_COUNTER contract — they order nothing and are read
+  // after the exchange completes (or where approximate values suffice).
+  DMT_ATOMIC_COUNTER std::atomic<uint64_t> bytes_sent_{0};
+  DMT_ATOMIC_COUNTER std::atomic<uint64_t> bytes_received_{0};
 };
 
 /// Accumulates frames so one window's worth of messages goes out in a

@@ -87,7 +87,8 @@ size_t SnapshotStore::ClaimSlot() {
   for (size_t i = 0; i < slots_.size(); ++i) {
     bool expected = false;
     if (slots_[i].in_use.compare_exchange_strong(
-            expected, true, std::memory_order_acq_rel)) {
+            expected, true, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
       slots_[i].epoch.store(kQuiescent, std::memory_order_release);
       return i;
     }
@@ -101,6 +102,7 @@ void SnapshotStore::ReleaseSlot(size_t slot) {
   slots_[slot].in_use.store(false, std::memory_order_release);
 }
 
+DMT_WRITER_SIDE
 void SnapshotStore::Publish(std::unique_ptr<const Snapshot> snapshot) {
   DMT_CHECK(snapshot != nullptr);
   Published* fresh = new Published(std::move(snapshot));
@@ -117,6 +119,7 @@ void SnapshotStore::Publish(std::unique_ptr<const Snapshot> snapshot) {
   Reclaim();
 }
 
+DMT_WRITER_SIDE
 void SnapshotStore::Reclaim() {
   size_t kept = 0;
   for (size_t i = 0; i < retired_.size(); ++i) {

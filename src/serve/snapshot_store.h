@@ -47,6 +47,7 @@
 
 #include "serve/snapshot.h"
 #include "util/aligned.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace serve {
@@ -83,7 +84,9 @@ class SnapshotRef {
   SnapshotRef(std::atomic<uint64_t>* refs, const Snapshot* snapshot)
       : refs_(refs), snapshot_(snapshot) {}
 
-  std::atomic<uint64_t>* refs_ = nullptr;
+  // Points at the owning Published::refs pin count (publish-classified
+  // there); the pointer itself is plain data owned by this ref.
+  DMT_ATOMIC_PUBLISH std::atomic<uint64_t>* refs_ = nullptr;
   const Snapshot* snapshot_ = nullptr;
 };
 
@@ -134,10 +137,10 @@ class SnapshotStore {
 
   /// Snapshots retired but not yet reclaimed (still pinned or possibly
   /// visible to an in-flight Acquire). Writer thread only; test hook.
-  size_t retired_count() const { return retired_.size(); }
+  DMT_WRITER_SIDE size_t retired_count() const { return retired_.size(); }
 
   /// Total snapshots reclaimed (freed) so far. Writer thread only.
-  uint64_t reclaimed_count() const { return reclaimed_; }
+  DMT_WRITER_SIDE uint64_t reclaimed_count() const { return reclaimed_; }
 
   size_t max_readers() const { return slots_.size(); }
 
@@ -152,16 +155,17 @@ class SnapshotStore {
     explicit Published(std::unique_ptr<const Snapshot> s)
         : snap(std::move(s)) {}
     std::unique_ptr<const Snapshot> snap;
-    std::atomic<uint64_t> refs{0};
-    uint64_t retire_epoch = 0;  // set when retired; writer-only field
+    DMT_ATOMIC_PUBLISH std::atomic<uint64_t> refs{0};
+    // Set when retired; read only by the writer's reclaim scan.
+    DMT_GUARDED_BY(writer) uint64_t retire_epoch = 0;
   };
 
   /// One reader announcement slot, alone on its cache line so reader
   /// announcements never false-share with each other or the writer's
   /// fields.
   struct alignas(kCacheLineBytes) Slot {
-    std::atomic<uint64_t> epoch{kQuiescent};
-    std::atomic<bool> in_use{false};
+    DMT_ATOMIC_PUBLISH std::atomic<uint64_t> epoch{kQuiescent};
+    DMT_ATOMIC_PUBLISH std::atomic<bool> in_use{false};
   };
 
   size_t ClaimSlot();
@@ -171,10 +175,10 @@ class SnapshotStore {
   void Reclaim();
 
   CacheAlignedVector<Slot> slots_;
-  std::atomic<Published*> current_;
-  std::atomic<uint64_t> epoch_{0};
-  std::vector<Published*> retired_;  // writer-only
-  uint64_t reclaimed_ = 0;           // writer-only
+  DMT_ATOMIC_PUBLISH std::atomic<Published*> current_;
+  DMT_ATOMIC_PUBLISH std::atomic<uint64_t> epoch_{0};
+  DMT_GUARDED_BY(writer) std::vector<Published*> retired_;
+  DMT_GUARDED_BY(writer) uint64_t reclaimed_ = 0;
 };
 
 }  // namespace serve

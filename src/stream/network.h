@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "stream/comm_stats.h"
+#include "util/contracts.h"
 
 namespace dmt {
 namespace stream {
@@ -71,8 +72,11 @@ class Network {
 
   size_t num_sites_;
   std::vector<Shard> shards_;
-  std::atomic<uint64_t> broadcast_events_{0};
-  std::atomic<uint64_t> rounds_{0};
+  // Pure statistics, read only at round boundaries under the pool
+  // barrier's happens-before edge: relaxed per the DMT_ATOMIC_COUNTER
+  // contract — anything stronger would be an unjustified fence.
+  DMT_ATOMIC_COUNTER std::atomic<uint64_t> broadcast_events_{0};
+  DMT_ATOMIC_COUNTER std::atomic<uint64_t> rounds_{0};
   // Merge caches rebuilt by the aggregate accessors (logically const).
   mutable CommStats merged_;
   mutable std::vector<uint64_t> per_site_up_;

@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/contracts.h"
+
 namespace dmt {
 
 /// Fixed pool of worker threads consuming a shared FIFO task queue plus a
@@ -70,18 +72,19 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::queue<std::packaged_task<void()>> queue_;
-  bool stopping_ = false;
+  DMT_GUARDED_BY(mutex_) std::queue<std::packaged_task<void()>> queue_;
+  DMT_GUARDED_BY(mutex_) bool stopping_ = false;
 
   // Batch channel (all guarded by mutex_; the callable itself runs
   // unlocked). `batch_task_` points at RunBatch's argument, which outlives
   // the batch because RunBatch blocks until batch_done_ == batch_fanout_.
+  DMT_GUARDED_BY(mutex_)
   const std::function<void(size_t)>* batch_task_ = nullptr;
-  size_t batch_fanout_ = 0;
-  size_t batch_next_ = 0;  // next unclaimed slot
-  size_t batch_done_ = 0;  // completed slots
-  bool batch_active_ = false;
-  std::exception_ptr batch_error_;
+  DMT_GUARDED_BY(mutex_) size_t batch_fanout_ = 0;
+  DMT_GUARDED_BY(mutex_) size_t batch_next_ = 0;  // next unclaimed slot
+  DMT_GUARDED_BY(mutex_) size_t batch_done_ = 0;  // completed slots
+  DMT_GUARDED_BY(mutex_) bool batch_active_ = false;
+  DMT_GUARDED_BY(mutex_) std::exception_ptr batch_error_;
   std::condition_variable batch_done_cv_;
 
   std::vector<std::thread> workers_;

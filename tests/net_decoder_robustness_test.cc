@@ -1,0 +1,270 @@
+// Decoder robustness: the dynamic twin of dmt_lint's untrusted-input
+// family. Golden frames (the same messages tests/net_wire_test.cc pins
+// byte-for-byte) are replayed through an exhaustive single-byte mutation
+// sweep, every truncation, and a seeded multi-byte fuzz pass; every mutant
+// must come back as a clean decode error or a clean (bounded) success —
+// never an abort and never an allocation beyond what the mutant's own
+// byte count can justify. See src/net/frame.h for the header layout the
+// position-based assertions below index into.
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "net/frame.h"
+#include "net/messages.h"
+
+namespace dmt {
+namespace net {
+namespace {
+
+struct GoldenFrame {
+  const char* name;
+  MsgType type;
+  std::vector<uint8_t> payload;
+};
+
+// The same message values the golden-byte and round-trip tests in
+// tests/net_wire_test.cc check in; one representative per MsgType with a
+// payload (kShutdown travels with an empty payload).
+std::vector<GoldenFrame> GoldenFrames() {
+  std::vector<GoldenFrame> frames;
+
+  {
+    HelloMsg m;
+    m.site = 3;
+    m.num_sites = 9;
+    m.num_windows = 1234567;
+    m.protocol = "mp2";
+    std::vector<uint8_t> p;
+    EncodeHello(m, &p);
+    frames.push_back({"hello", MsgType::kHello, std::move(p)});
+  }
+  {
+    std::vector<uint8_t> p;
+    EncodeWindowEnd({7}, &p);
+    frames.push_back({"window_end", MsgType::kWindowEnd, std::move(p)});
+  }
+  {
+    BroadcastMsg m;
+    m.window = 3;
+    m.value = 2.5;
+    std::vector<uint8_t> p;
+    EncodeBroadcast(m, &p);
+    frames.push_back({"broadcast", MsgType::kBroadcast, std::move(p)});
+  }
+  {
+    HHFlushMsg m;
+    m.weight = 12.0;
+    m.k = 2;
+    m.total_weight = 12.0;
+    m.total_decrement = 1.5;
+    m.counters = {{5, 8.0}, {9, 2.5}};
+    std::vector<uint8_t> p;
+    EncodeHHFlush(m, &p);
+    frames.push_back({"hh_flush", MsgType::kHHFlush, std::move(p)});
+  }
+  {
+    std::vector<uint8_t> p;
+    EncodeMatrixScalar({1.0 / 7.0}, &p);
+    frames.push_back({"matrix_scalar", MsgType::kMatrixScalar, std::move(p)});
+  }
+  {
+    MatrixDirectionMsg m;
+    m.lambda = 4.0;
+    m.dir = {0.5, -0.5};
+    std::vector<uint8_t> p;
+    EncodeMatrixDirection(m, &p);
+    frames.push_back(
+        {"matrix_direction", MsgType::kMatrixDirection, std::move(p)});
+  }
+  {
+    FdSketchMsg m;
+    m.ell = 8;
+    m.dim = 5;
+    m.stream_sq_frob = 321.5;
+    m.total_shrinkage = 0.125;
+    m.rows = linalg::Matrix(3, 5);
+    for (size_t i = 0; i < 3; ++i) {
+      for (size_t j = 0; j < 5; ++j) {
+        m.rows(i, j) = static_cast<double>(i) - 0.25 * static_cast<double>(j);
+      }
+    }
+    std::vector<uint8_t> p;
+    EncodeFdSketch(m, &p);
+    frames.push_back({"fd_sketch", MsgType::kFdSketch, std::move(p)});
+  }
+  {
+    std::vector<uint8_t> p;
+    EncodeSiteDone({42}, &p);
+    frames.push_back({"site_done", MsgType::kSiteDone, std::move(p)});
+  }
+  return frames;
+}
+
+std::vector<uint8_t> EncodeFrame(const GoldenFrame& g) {
+  std::vector<uint8_t> out;
+  AppendFrame(g.type, g.payload.data(), g.payload.size(), &out);
+  return out;
+}
+
+// Runs the payload through the decoder its type byte selects and checks
+// that every variable-size output is justified by the input byte count —
+// the "no over-allocation" half of the contract. Returns the decoder's
+// verdict (true = accepted).
+bool DecodePayloadBounded(MsgType type, const uint8_t* p, size_t n) {
+  switch (type) {
+    case MsgType::kHello: {
+      HelloMsg m;
+      if (!DecodeHello(p, n, &m)) return false;
+      EXPECT_LE(m.protocol.size(), n);
+      return true;
+    }
+    case MsgType::kWindowEnd: {
+      WindowEndMsg m;
+      return DecodeWindowEnd(p, n, &m);
+    }
+    case MsgType::kBroadcast: {
+      BroadcastMsg m;
+      return DecodeBroadcast(p, n, &m);
+    }
+    case MsgType::kHHFlush: {
+      HHFlushMsg m;
+      if (!DecodeHHFlush(p, n, &m)) return false;
+      EXPECT_LE(m.counters.size() * 16, n);  // 16 bytes per counter
+      return true;
+    }
+    case MsgType::kMatrixScalar: {
+      MatrixScalarMsg m;
+      return DecodeMatrixScalar(p, n, &m);
+    }
+    case MsgType::kMatrixDirection: {
+      MatrixDirectionMsg m;
+      if (!DecodeMatrixDirection(p, n, &m)) return false;
+      EXPECT_LE(m.dir.size() * 8, n);  // 8 bytes per element
+      return true;
+    }
+    case MsgType::kFdSketch: {
+      FdSketchMsg m;
+      if (!DecodeFdSketch(p, n, &m)) return false;
+      EXPECT_LE(m.rows.rows() * m.rows.cols() * 8, n);
+      return true;
+    }
+    case MsgType::kSiteDone: {
+      SiteDoneMsg m;
+      return DecodeSiteDone(p, n, &m);
+    }
+    case MsgType::kShutdown:
+      return true;  // no payload decoder
+  }
+  return false;
+}
+
+// In-memory mirror of RecvFrame (src/net/transport.cc): header decode,
+// length check against what "arrived", CRC, then payload dispatch.
+bool ConsumeFrame(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kFrameHeaderBytes) return false;
+  FrameHeader h;
+  std::string error;
+  if (!DecodeFrameHeader(bytes.data(), &h, &error)) {
+    EXPECT_FALSE(error.empty());
+    return false;
+  }
+  // DecodeFrameHeader enforces the backstop; a mutant that slipped a
+  // larger length through would be the over-allocation the lint guards.
+  EXPECT_LE(h.payload_len, kMaxFramePayload);
+  if (bytes.size() - kFrameHeaderBytes < h.payload_len) {
+    return false;  // RecvFrame would still be blocked on the socket
+  }
+  const uint8_t* payload = bytes.data() + kFrameHeaderBytes;
+  if (!CheckFrameCrc(h, payload, &error)) {
+    EXPECT_FALSE(error.empty());
+    return false;
+  }
+  return DecodePayloadBounded(h.type, payload, h.payload_len);
+}
+
+// Every single-byte corruption of every golden frame. Positions with a
+// structural guarantee assert rejection outright: magic/version (0-4) and
+// the length/CRC words (8-15) fail header or CRC validation, and any
+// payload byte change (>= 16) is caught by CRC-32, which detects all
+// single-byte errors. The type byte (5) may mutate into another valid
+// type whose decoder legitimately accepts or rejects the payload, and the
+// reserved bytes (6-7) are not validated — there the invariant is only
+// no-abort/no-over-allocation (checked inside ConsumeFrame).
+TEST(DecoderRobustnessTest, ExhaustiveSingleByteMutations) {
+  for (const GoldenFrame& g : GoldenFrames()) {
+    const std::vector<uint8_t> frame = EncodeFrame(g);
+    ASSERT_TRUE(ConsumeFrame(frame)) << g.name;
+    for (size_t pos = 0; pos < frame.size(); ++pos) {
+      for (int delta = 1; delta < 256; ++delta) {
+        std::vector<uint8_t> mutant = frame;
+        mutant[pos] = static_cast<uint8_t>(mutant[pos] ^ delta);
+        const bool accepted = ConsumeFrame(mutant);
+        const bool must_reject =
+            pos <= 4 || (pos >= 8 && pos < kFrameHeaderBytes && pos != 6 &&
+                         pos != 7) ||
+            pos >= kFrameHeaderBytes;
+        if (must_reject) {
+          ASSERT_FALSE(accepted)
+              << g.name << " byte " << pos << " xor " << delta;
+        }
+      }
+    }
+  }
+}
+
+// Every proper prefix of every golden frame must be rejected: too short
+// for a header, or the header's length outruns the bytes that arrived,
+// and a truncation landing exactly on the header never passes CRC against
+// an empty payload (all goldens have nonempty payloads).
+TEST(DecoderRobustnessTest, ExhaustiveTruncations) {
+  for (const GoldenFrame& g : GoldenFrames()) {
+    const std::vector<uint8_t> frame = EncodeFrame(g);
+    for (size_t len = 0; len < frame.size(); ++len) {
+      std::vector<uint8_t> mutant(frame.begin(), frame.begin() + len);
+      ASSERT_FALSE(ConsumeFrame(mutant)) << g.name << " truncated to " << len;
+    }
+    // Payload-level: feed every truncated payload straight to its own
+    // decoder, bypassing the CRC that would otherwise mask it.
+    for (size_t len = 0; len < g.payload.size(); ++len) {
+      EXPECT_FALSE(DecodePayloadBounded(g.type, g.payload.data(), len))
+          << g.name << " payload truncated to " << len;
+    }
+  }
+}
+
+// Seeded multi-byte fuzz: random corruption clusters plus random resizes,
+// frame-level and payload-level. No structural rejection guarantee here —
+// the assertion is the contract itself: clean verdicts, bounded outputs,
+// and (implicitly) no abort, which would take the test process down.
+TEST(DecoderRobustnessTest, SeededMultiByteMutations) {
+  for (const GoldenFrame& g : GoldenFrames()) {
+    const std::vector<uint8_t> frame = EncodeFrame(g);
+    std::mt19937 rng(0xD317u ^ static_cast<uint32_t>(g.type));
+    for (int iter = 0; iter < 512; ++iter) {
+      std::vector<uint8_t> mutant = frame;
+      const size_t flips = 1 + rng() % 8;
+      for (size_t f = 0; f < flips; ++f) {
+        mutant[rng() % mutant.size()] = static_cast<uint8_t>(rng());
+      }
+      if (rng() % 4 == 0) mutant.resize(rng() % (frame.size() + 8));
+      ConsumeFrame(mutant);
+
+      std::vector<uint8_t> payload = g.payload;
+      for (size_t f = 0; f < flips; ++f) {
+        payload[rng() % payload.size()] = static_cast<uint8_t>(rng());
+      }
+      DecodePayloadBounded(g.type, payload.data(), payload.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dmt

@@ -161,7 +161,9 @@ void RunWireOnThreads(const WireRunConfig& config,
   std::vector<std::thread> site_threads;
   std::vector<WireProtocol> site_protocols(config.num_sites);
   std::vector<std::string> site_errors(config.num_sites);
-  std::vector<bool> site_ok(config.num_sites, false);
+  // Not vector<bool>: each site thread writes its own element, and the
+  // packed-bit specialization would make distinct elements share a word.
+  std::vector<char> site_ok(config.num_sites, 0);
   for (size_t s = 0; s < config.num_sites; ++s) {
     site_protocols[s] = MakeWireProtocol(config);
     ASSERT_NE(site_protocols[s].adapter, nullptr);

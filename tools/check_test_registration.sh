@@ -8,10 +8,20 @@
 # build directory hides a newly added suite).
 #
 # Usage: check_test_registration.sh <repo_root> <registered_tests.txt>
+#        check_test_registration.sh --list-fixtures
+# The second form prints the lint fixtures the selftest covers (one per
+# line) — a quick way to confirm a new fixture under tools/lint/testdata
+# was picked up.
 set -euo pipefail
+
+if [[ $# -eq 1 && "$1" == "--list-fixtures" ]]; then
+  script_root=$(cd "$(dirname "$0")/.." && pwd)
+  exec python3 "${script_root}/tools/lint/dmt_lint" --list-fixtures
+fi
 
 if [[ $# -ne 2 ]]; then
   echo "usage: $0 <repo_root> <registered_tests.txt>" >&2
+  echo "       $0 --list-fixtures" >&2
   exit 2
 fi
 

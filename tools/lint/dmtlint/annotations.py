@@ -23,6 +23,19 @@ Recognized forms:
                           is parsed into a NoAliasDecl (function name, line,
                           annotated positions, writability) that the alias
                           check matches against resolved call sites.
+  DMT_ATOMIC_PUBLISH / DMT_ATOMIC_COUNTER
+                          on (or up to BIND_WINDOW lines above) an atomic
+                          field's declaration line; classifies the field for
+                          the atomics-discipline checks. At most one per
+                          field.
+  DMT_GUARDED_BY(guard)   same placement; `guard` is a mutex member name or
+                          the reserved word `writer`. The guard name must be
+                          a plain identifier.
+  DMT_WRITER_SIDE         on a function definition (like DMT_NO_ALLOC);
+                          marks the single-writer role for
+                          DMT_GUARDED_BY(writer) fields.
+  DMT_UNTRUSTED_INPUT     on a function definition; marks a decode entry
+                          point for the untrusted-input checks.
 """
 
 import re
@@ -34,9 +47,22 @@ BIND_WINDOW = 3
 
 _NO_ALLOC_RE = re.compile(r"\bDMT_NO_ALLOC\b")
 _ALLOC_OK_RE = re.compile(r"\bDMT_ALLOC_OK\s*\(\s*(\"(?:[^\"\\]|\\.)*\")?", re.S)
+_ATOMIC_PUBLISH_RE = re.compile(r"\bDMT_ATOMIC_PUBLISH\b")
+_ATOMIC_COUNTER_RE = re.compile(r"\bDMT_ATOMIC_COUNTER\b")
+_GUARDED_BY_ANY_RE = re.compile(r"\bDMT_GUARDED_BY\b")
+_GUARDED_BY_RE = re.compile(
+    r"\bDMT_GUARDED_BY\s*\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)")
+_WRITER_SIDE_RE = re.compile(r"\bDMT_WRITER_SIDE\b")
+_UNTRUSTED_RE = re.compile(r"\bDMT_UNTRUSTED_INPUT\b")
 _ALLOW_RE = re.compile(r"//\s*dmt-lint:\s*allow\(([a-z0-9-]+)\)\s*:?\s*(.*)")
 _LINE_COMMENT_RE = re.compile(r"//.*")
 _NOALIAS_TOKEN_RE = re.compile(r"\bDMT_NOALIAS\b")
+# Field-level annotation tokens, stripped to decide whether a line is
+# annotation-only (may bind downward) or carries other code (binds its own
+# line only, and stops an upward scan).
+_FIELD_ANNOT_STRIP_RE = re.compile(
+    r"\bDMT_ATOMIC_PUBLISH\b|\bDMT_ATOMIC_COUNTER\b"
+    r"|\bDMT_GUARDED_BY\s*\([^)]*\)")
 _NAME_BEFORE_PAREN_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*$")
 
 _OPEN = {"(": ")", "[": "]", "{": "}", "<": ">"}
@@ -108,7 +134,12 @@ class FileAnnotations:
         self.alloc_ok = {}  # line -> Annotation
         self.allows = []    # list of Annotation (kind="allow")
         self.noalias = {}   # (name, line) -> NoAliasDecl
+        self.atomic_class = {}  # line -> Annotation (atomic_publish/_counter)
+        self.guarded = {}       # line -> Annotation (reason = guard name)
+        self.writer_side = {}   # line -> Annotation
+        self.untrusted = {}     # line -> Annotation
         self.errors = []    # (line, message) for malformed annotations
+        self._line_code = {}  # line -> comment-stripped code text
         self._scan()
 
     def _scan(self):
@@ -135,6 +166,10 @@ class FileAnnotations:
                     self.allows.append(
                         Annotation("allow", self.path, i, am.group(1), reason))
 
+            self._line_code[i] = code
+            if not code.lstrip().startswith("#"):  # skip the #define lines
+                self._scan_concurrency_line(i, code)
+
             okm = _ALLOC_OK_RE.search(code)
             # Search for DMT_NO_ALLOC outside any DMT_ALLOC_OK("...") span,
             # so a reason string mentioning the other macro cannot bind.
@@ -150,6 +185,33 @@ class FileAnnotations:
                 else:
                     self.alloc_ok[i] = Annotation(
                         "alloc_ok", self.path, i, reason=lit.strip('"'))
+
+    def _scan_concurrency_line(self, i, code):
+        """Annotations of the atomics/guard/untrusted families on line i."""
+        pub = _ATOMIC_PUBLISH_RE.search(code)
+        cnt = _ATOMIC_COUNTER_RE.search(code)
+        if pub and cnt:
+            self.errors.append(
+                (i, "a field cannot be both DMT_ATOMIC_PUBLISH and "
+                 "DMT_ATOMIC_COUNTER"))
+        elif pub:
+            self.atomic_class[i] = Annotation("atomic_publish", self.path, i)
+        elif cnt:
+            self.atomic_class[i] = Annotation("atomic_counter", self.path, i)
+        if _GUARDED_BY_ANY_RE.search(code):
+            gm = _GUARDED_BY_RE.search(code)
+            if gm is None:
+                self.errors.append(
+                    (i, "DMT_GUARDED_BY needs a guard name — a mutex member "
+                     "(DMT_GUARDED_BY(mutex_)) or the single-writer role "
+                     "(DMT_GUARDED_BY(writer))"))
+            else:
+                self.guarded[i] = Annotation("guarded_by", self.path, i,
+                                             reason=gm.group(1))
+        if _WRITER_SIDE_RE.search(code):
+            self.writer_side[i] = Annotation("writer_side", self.path, i)
+        if _UNTRUSTED_RE.search(code):
+            self.untrusted[i] = Annotation("untrusted", self.path, i)
 
     def _scan_noalias(self, text):
         """Parse every parameter list containing DMT_NOALIAS into a
@@ -235,6 +297,42 @@ class FileAnnotations:
                 a.bound = True
                 return a
         return None
+
+    def _field_annotation_at(self, table, line):
+        """The field annotation from `table` binding a field declared at
+        `line`: on the field's own line, or on an annotation-only line up
+        to BIND_WINDOW lines above with nothing but blank/comment lines in
+        between (an intervening code line — another field, a brace — stops
+        the upward scan so one field's same-line annotation can never leak
+        onto a later field)."""
+        a = table.get(line)
+        if a is not None:
+            a.bound = True
+            return a
+        for l in range(line - 1, max(0, line - BIND_WINDOW) - 1, -1):
+            code = self._line_code.get(l, "")
+            rest = _FIELD_ANNOT_STRIP_RE.sub(" ", code).strip()
+            a = table.get(l)
+            if a is not None and not rest:
+                a.bound = True
+                return a
+            if rest:
+                break
+        return None
+
+    def atomic_class_at(self, line):
+        """The atomic classification ("publish"/"counter") covering a field
+        declared at `line`, or None."""
+        a = self._field_annotation_at(self.atomic_class, line)
+        if a is None:
+            return None
+        return "publish" if a.kind == "atomic_publish" else "counter"
+
+    def guard_at(self, line):
+        """The DMT_GUARDED_BY guard name covering a field declared at
+        `line`, or None."""
+        a = self._field_annotation_at(self.guarded, line)
+        return None if a is None else a.reason
 
     def allows_at(self, check_id, line):
         """True if an allow(<check_id>) comment covers `line`. The window

@@ -1,4 +1,4 @@
-"""The three dmt_lint check families.
+"""The dmt_lint check families.
 
 Check IDs (stable; used in suppression comments and fixtures):
 
@@ -16,6 +16,26 @@ Check IDs (stable; used in suppression comments and fixtures):
   noalias-duplicate-arg     — the same buffer passed to two DMT_NOALIAS
                               (__restrict__) parameters, at least one
                               written through
+  atomic-implicit-order     — an atomic operation in the concurrency scope
+                              that does not spell its std::memory_order
+                              (defaulted seq_cst, a single-order
+                              compare_exchange, or an operator form)
+  atomic-publish-relaxed    — a relaxed operation on a field classified
+                              DMT_ATOMIC_PUBLISH
+  atomic-counter-order      — a non-relaxed operation on a field
+                              classified DMT_ATOMIC_COUNTER
+  atomic-unclassified       — an atomic member field in the concurrency
+                              scope with neither classification
+  guard-unlocked-access     — a DMT_GUARDED_BY field touched by a function
+                              that neither takes the named lock (or holds
+                              the writer role) nor is reached exclusively
+                              from functions that do
+  untrusted-abort-path      — a DMT_CHECK-family abort reachable from a
+                              DMT_UNTRUSTED_INPUT decode entry point
+  untrusted-unclamped-alloc — a size-taking allocation inside a
+                              DMT_UNTRUSTED_INPUT function body with no
+                              prior clamp (remaining()/FitsRemaining/kMax*
+                              or a validated-by-decoder call)
   annotation-error          — malformed or unbindable annotations
 
 Suppression: `// dmt-lint: allow(<check-id>): <reason>` on or up to
@@ -27,7 +47,7 @@ import os
 import re
 
 from . import gcc_ast
-from .annotations import BIND_WINDOW
+from .annotations import BIND_WINDOW, _blank_comments
 
 DETERMINISM_DIRS = (
     "src/stream", "src/hh", "src/matrix", "src/sketch", "src/core",
@@ -77,6 +97,42 @@ _THREADISH_RE = re.compile(r"thread|worker|concurr", re.I)
 _MAX_PATHS_PER_FN = 64
 _MAX_CHAIN_SHOWN = 6
 
+# Scope of the atomics-discipline family: the concurrency layers whose
+# memory-order contracts are documented (RCU snapshot store, scheduler
+# counters, transport byte counters, the thread pool). Unlike the
+# annotation-driven guard/untrusted families, absence of an annotation is
+# itself a finding here (atomic-unclassified), so the sweep must be scoped.
+ATOMICS_DIRS = ("src/serve", "src/stream", "src/net")
+ATOMICS_FILES = (
+    "src/util/thread_pool.h", "src/util/thread_pool.cc",
+    "src/util/aligned.h",
+)
+
+# The classes std::atomic member calls resolve into in GENERIC dumps:
+# integral atomics dispatch through the __atomic_base base class,
+# bool/pointer atomics stay on std::atomic, flags on atomic_flag.
+_ATOMIC_SCOPES = frozenset(["atomic", "__atomic_base", "atomic_flag"])
+_ATOMIC_OPS = frozenset(
+    ["load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+     "fetch_or", "fetch_xor", "compare_exchange_strong",
+     "compare_exchange_weak", "test_and_set", "clear"])
+# std::memory_order enum values as they appear in integer_cst order args.
+_ORDER_NAMES = {0: "relaxed", 1: "consume", 2: "acquire", 3: "release",
+                4: "acq_rel", 5: "seq_cst"}
+# Implicit defaulted orders materialize as integer_cst 5 identically to a
+# written memory_order_seq_cst, so explicitness is checked lexically: count
+# memory_order tokens over the statement's extent.
+_MEMORD_RE = re.compile(r"\bmemory_order(?:_[a-z_]+|\s*::\s*[a-z_]+)")
+
+_ABORT_NAMES = frozenset(
+    ["abort", "exit", "_Exit", "_exit", "quick_exit", "terminate",
+     "__assert_fail"])
+# Lexical clamp evidence for wire-derived sizes: a latched-bounds check
+# (remaining()/FitsRemaining) or a named kMax* backstop constant.
+_CLAMP_RE = re.compile(r"remaining\s*\(|\bkMax\w+", re.I)
+_GROWTH_SINKS = frozenset(["resize", "reserve", "assign"])
+_ACQUIRE_KINDS = r"(?:lock_guard|unique_lock|scoped_lock|shared_lock)"
+
 
 class Finding:
     __slots__ = ("check_id", "file", "line", "function", "message")
@@ -94,18 +150,19 @@ class Finding:
 
 
 class CallSite:
-    __slots__ = ("callee", "file", "line", "leaf")
+    __slots__ = ("callee", "file", "line", "leaf", "abort_leaf")
 
-    def __init__(self, callee, file, line, leaf=None):
+    def __init__(self, callee, file, line, leaf=None, abort_leaf=None):
         self.callee = callee  # qname or None
         self.file = file
         self.line = line
         self.leaf = leaf      # description if this call IS an allocation
+        self.abort_leaf = abort_leaf  # description if this call aborts
 
 
 class FunctionInfo:
     __slots__ = ("qname", "file", "line", "calls", "indirect", "has_body",
-                 "annotation")
+                 "annotation", "roles", "sinks")
 
     def __init__(self, qname):
         self.qname = qname
@@ -115,6 +172,8 @@ class FunctionInfo:
         self.indirect = []  # (file, line)
         self.has_body = False
         self.annotation = None  # resolved "no_alloc" / "alloc_ok" / None
+        self.roles = None   # set of "writer_side" / "untrusted", or None
+        self.sinks = []     # (file, line, desc) size-taking allocations
 
 
 class AllocPath:
@@ -142,6 +201,13 @@ def _in_determinism_scope(path):
     if any(("/" + d + "/") in p or p.startswith(d + "/") for d in DETERMINISM_DIRS):
         return True
     return any(("/" + f) in p or p == f for f in DETERMINISM_FILES)
+
+
+def _in_atomics_scope(path):
+    p = _norm(path)
+    if any(("/" + d + "/") in p or p.startswith(d + "/") for d in ATOMICS_DIRS):
+        return True
+    return any(("/" + f) in p or p == f for f in ATOMICS_FILES)
 
 
 def build_file_index(repo_root, extra_files=()):
@@ -180,7 +246,12 @@ class Analyzer:
         self.findings = []
         self._decl_lines = {}  # file -> {line -> qname}
         self._alloc_memo = {}
+        self._abort_memo = {}
+        self._guard_memo = {}
         self._seen_sections = set()
+        self.atomic_ops = []      # dicts, one per atomic member operation
+        self.guard_accesses = []  # dicts, one per guarded-field access
+        self._text_cache = {}     # file -> comment-blanked source lines
 
     # ------------------------------------------------------------------
     # Model building
@@ -199,12 +270,19 @@ class Analyzer:
 
     def _add_section(self, section):
         parent = section.lambda_parent_qname()
-        qname = (parent + "::<lambda>") if parent else section.qname()
-        fi = self._fn(qname)
-        fi.has_body = True
         ofile, oline = section.owner_srcp()
         if ofile is not None:
             ofile = self._resolve_file(ofile, section.tu) or ofile
+        if parent:
+            # One function may define several lambdas; the definition line
+            # keeps their FunctionInfos (call edges, lexical extents for
+            # the atomics token count) distinct.
+            qname = parent + ("::<lambda@%d>" % oline if oline
+                              else "::<lambda>")
+        else:
+            qname = section.qname()
+        fi = self._fn(qname)
+        fi.has_body = True
         # Inline/template functions are dumped once per including TU; the
         # dumps are identical, so process each definition exactly once.
         skey = (qname, ofile, oline)
@@ -226,10 +304,14 @@ class Analyzer:
 
         visits, backedges = gcc_ast.walk_body(section)
         in_scope = self._determinism_in_scope(fi)
+        in_atomics = self._atomics_in_scope(fi)
         attr_file = fi.file if (fi.file and _is_repo_file(fi.file, self.repo_root)) else None
 
         for v in visits:
             node = v.node
+            if node.kind == "component_ref" and attr_file:
+                self._guard_access(section, node, attr_file, v.line, qname)
+                continue
             if node.kind not in ("call_expr", "aggr_init_expr"):
                 continue
             callee = gcc_ast.resolve_callee(section, node)
@@ -240,7 +322,14 @@ class Analyzer:
             leaf = self._classify_alloc_leaf(section, callee)
             cq = gcc_ast.fdecl_qname(section, callee)
             fi.calls.append(CallSite(cq, attr_file or (fi.file or section.tu.source),
-                                     v.line, leaf))
+                                     v.line, leaf,
+                                     self._classify_abort_leaf(section, callee)))
+            if attr_file:
+                sink = self._classify_growth_sink(section, node, callee, leaf)
+                if sink is not None:
+                    fi.sinks.append((attr_file, v.line, sink))
+                self._atomic_call(section, node, callee, attr_file, v.line,
+                                  qname, in_atomics)
             if in_scope and attr_file:
                 self._determinism_call(section, callee, cq, attr_file, v.line, qname)
             if attr_file:
@@ -263,6 +352,13 @@ class Analyzer:
         if self.scope_all:
             return True
         return _in_determinism_scope(os.path.relpath(fi.file, self.repo_root))
+
+    def _atomics_in_scope(self, fi):
+        if fi.file is None or not _is_repo_file(fi.file, self.repo_root):
+            return False
+        if self.scope_all:
+            return True
+        return _in_atomics_scope(os.path.relpath(fi.file, self.repo_root))
 
     # ------------------------------------------------------------------
     # Allocation classification
@@ -287,6 +383,151 @@ class Analyzer:
             if fdecl.get("body") == "undefined":
                 return "std::string growth (%s)" % name
         return None
+
+    def _classify_abort_leaf(self, section, fdecl):
+        """Description if a call to `fdecl` terminates the process, for the
+        untrusted-abort-path walk. The DMT_CHECK macros expand to a call to
+        dmt::internal::CheckFailed, so that name is the leaf whether or not
+        its body (which calls std::abort) is visible in this TU."""
+        name = gcc_ast.identifier_of(section, fdecl.ref("name"))
+        if name is None:
+            return None
+        name = name.strip()
+        chain = gcc_ast.scope_chain(section, fdecl)
+        if name == "CheckFailed" and chain[-2:] == ["dmt", "internal"]:
+            return "DMT_CHECK abort (dmt::internal::CheckFailed)"
+        if name in _ABORT_NAMES and (not chain or chain == ["std"]):
+            return "%s()" % name
+        return None
+
+    def _classify_growth_sink(self, section, call_node, fdecl, alloc_leaf):
+        """Description if this call is a size-taking allocation, for the
+        untrusted-unclamped-alloc check: container growth, a sized Matrix
+        construction, or a raw allocation leaf."""
+        if alloc_leaf is not None:
+            return alloc_leaf
+        name = gcc_ast.decl_name_component(section, fdecl)
+        chain = gcc_ast.scope_chain(section, fdecl)
+        cls = chain[-1] if chain else None
+        if name in _GROWTH_SINKS and cls is not None:
+            return "%s::%s" % (cls, name)
+        if (cls == "Matrix" and name == "Matrix"
+                and len(gcc_ast.call_args(call_node)) >= 2):
+            return "Matrix(rows, cols) construction"
+        return None
+
+    # ------------------------------------------------------------------
+    # Atomics discipline (event collection)
+    # ------------------------------------------------------------------
+
+    def _atomic_call(self, section, node, fdecl, attr_file, line, owner_qname,
+                     in_scope):
+        chain = gcc_ast.scope_chain(section, fdecl)
+        if not chain or chain[-1] not in _ATOMIC_SCOPES:
+            return
+        name = gcc_ast.decl_name_component(section, fdecl)
+        is_op = name == "<op>"
+        if not is_op and name not in _ATOMIC_OPS:
+            return  # constructor, is_lock_free, ...
+        args = gcc_ast.call_args(node)
+        is_cas = name.startswith("compare_exchange")
+
+        def order_of(aref):
+            n = section.node(gcc_ast.strip_wrappers(section, aref))
+            if n is not None and n.kind == "integer_cst":
+                try:
+                    v = int(n.get("int"))
+                except (TypeError, ValueError):
+                    return None
+                if 0 <= v <= 5:
+                    return v
+            return None
+
+        order = fail_order = None
+        if not is_op and len(args) >= 2:
+            # The order is the last argument (arg 0 is `this`); an explicit
+            # two-order compare_exchange carries success then failure.
+            if is_cas and len(args) >= 5:
+                order, fail_order = order_of(args[-2]), order_of(args[-1])
+            else:
+                order = order_of(args[-1])
+        field = self._atomic_target(section, args[0], section.tu) if args else None
+        self.atomic_ops.append({
+            "file": attr_file, "line": line, "fn": owner_qname,
+            "op": name, "nargs": len(args), "is_cas": is_cas,
+            "order": order, "fail_order": fail_order,
+            "field": field, "in_scope": in_scope,
+        })
+
+    def _atomic_target(self, section, ref, tu):
+        """The repo member field an atomic operation's `this` argument
+        names: ("field"|"local", file, line, name, class) or None. Walks
+        addr_expr / component_ref chains outside-in; the first *named*
+        field whose srcp resolves into the repo is the user's field (inner
+        unnamed fields belong to the <atomic> headers). Lambda-capture
+        fields (unnamed closure classes) count as locals."""
+        for _ in range(12):
+            ref = gcc_ast.strip_wrappers(section, ref)
+            n = section.node(ref)
+            if n is None:
+                return None
+            if n.kind in ("addr_expr", "indirect_ref", "array_ref", "mem_ref"):
+                ref = n.ref("op 0")
+                if ref is None:
+                    return None
+                continue
+            if n.kind in ("var_decl", "parm_decl", "result_decl"):
+                nm = gcc_ast.identifier_of(section, n.ref("name")) or "?"
+                return ("local", None, None, nm.strip(), None)
+            if n.kind != "component_ref":
+                return None
+            fref = n.ref("op 1")
+            fd = section.node(fref) if fref is not None else None
+            if fd is not None and fd.kind == "field_decl":
+                fname = gcc_ast.identifier_of(section, fd.ref("name"))
+                sfile, sline = gcc_ast.srcp_of(fd)
+                if fname and sfile and sline:
+                    rfile = self._resolve_file(sfile, tu)
+                    if rfile is not None and _is_repo_file(rfile, self.repo_root):
+                        cls = self._field_class_name(section, fd)
+                        if cls is not None and re.match(r"[A-Za-z_]\w*$", cls):
+                            return ("field", rfile, sline, fname.strip(), cls)
+                        return ("local", None, None, fname.strip(), None)
+            ref = n.ref("op 0")
+            if ref is None:
+                return None
+        return None
+
+    def _field_class_name(self, section, fd):
+        s = section.node(fd.ref("scpe")) if fd.ref("scpe") is not None else None
+        if s is not None and s.kind.endswith("_type"):
+            return gcc_ast.identifier_of(section, s.ref("name"))
+        return None
+
+    # ------------------------------------------------------------------
+    # Guard discipline (event collection)
+    # ------------------------------------------------------------------
+
+    def _guard_access(self, section, node, attr_file, line, owner_qname):
+        fref = node.ref("op 1")
+        fd = section.node(fref) if fref is not None else None
+        if fd is None or fd.kind != "field_decl":
+            return
+        fname = gcc_ast.identifier_of(section, fd.ref("name"))
+        sfile, sline = gcc_ast.srcp_of(fd)
+        if not fname or not sfile or not sline:
+            return
+        rfile = self._resolve_file(sfile, section.tu)
+        if rfile is None or not _is_repo_file(rfile, self.repo_root):
+            return
+        guard = self.ann.for_file(rfile).guard_at(sline)
+        if guard is None:
+            return
+        self.guard_accesses.append({
+            "file": attr_file, "line": line, "fn": owner_qname,
+            "field": fname.strip(), "guard": guard,
+            "cls": self._field_class_name(section, fd),
+        })
 
     # ------------------------------------------------------------------
     # Determinism checks (per call site)
@@ -479,12 +720,19 @@ class Analyzer:
     # No-alloc call-graph walk
     # ------------------------------------------------------------------
 
+    _FN_MACRO_NAMES = {"no_alloc": "DMT_NO_ALLOC", "alloc_ok": "DMT_ALLOC_OK",
+                       "writer_side": "DMT_WRITER_SIDE",
+                       "untrusted": "DMT_UNTRUSTED_INPUT"}
+
     def resolve_annotations(self):
-        """Bind DMT_NO_ALLOC / DMT_ALLOC_OK macros to function definitions
+        """Bind the function-level macros (DMT_NO_ALLOC / DMT_ALLOC_OK /
+        DMT_WRITER_SIDE / DMT_UNTRUSTED_INPUT) to function definitions
         (nearest definition at or within BIND_WINDOW lines below the macro)."""
         for file, lines in self._decl_lines.items():
             fa = self.ann.for_file(file)
-            anns = list(fa.no_alloc.values()) + list(fa.alloc_ok.values())
+            anns = (list(fa.no_alloc.values()) + list(fa.alloc_ok.values())
+                    + list(fa.writer_side.values())
+                    + list(fa.untrusted.values()))
             for a in anns:
                 target = None
                 for delta in range(0, BIND_WINDOW + 1):
@@ -497,13 +745,19 @@ class Analyzer:
                         "annotation-error", file, a.line, "-",
                         "%s does not bind to any function definition within "
                         "%d lines — put it on the definition's signature"
-                        % ("DMT_NO_ALLOC" if a.kind == "no_alloc"
-                           else "DMT_ALLOC_OK", BIND_WINDOW))
+                        % (self._FN_MACRO_NAMES[a.kind], BIND_WINDOW))
                     continue
                 a.bound = True
                 fi = self.functions.get(target)
-                if fi is not None and fi.annotation is None:
-                    fi.annotation = a.kind
+                if fi is None:
+                    continue
+                if a.kind in ("no_alloc", "alloc_ok"):
+                    if fi.annotation is None:
+                        fi.annotation = a.kind
+                else:
+                    if fi.roles is None:
+                        fi.roles = set()
+                    fi.roles.add(a.kind)
         for fa in self.ann.files():
             for line, msg in fa.errors:
                 self._report("annotation-error", fa.path, line, "-", msg)
@@ -575,6 +829,307 @@ class Analyzer:
         return out
 
     # ------------------------------------------------------------------
+    # Atomics discipline (checks)
+    # ------------------------------------------------------------------
+
+    def _file_lines(self, path):
+        """Comment-blanked source lines of a repo file (1-indexed via
+        lines[i-1]), or None."""
+        cached = self._text_cache.get(path)
+        if cached is not None:
+            return cached
+        try:
+            with open(path, "r", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            self._text_cache[path] = []
+            return []
+        lines = _blank_comments(text).splitlines()
+        self._text_cache[path] = lines
+        return lines
+
+    def _fn_order_tokens(self, qname):
+        """memory_order tokens written inside a function's lexical extent.
+        Statement-level attribution is unreliable in the dump (line info
+        lags inside loop bodies), so explicitness is checked at function
+        granularity: every ordered atomic operation the AST sees must be
+        matched by a memory_order token somewhere in the function text."""
+        fi = self.functions.get(qname)
+        if fi is None:
+            return 0
+        ext = self._fn_extent(fi)
+        if ext is None:
+            return 0
+        lines = self._file_lines(fi.file)
+        text = "\n".join(lines[ext[0] - 1:ext[1]])
+        return len(_MEMORD_RE.findall(text))
+
+    def check_atomics(self):
+        groups = {}
+        for ev in self.atomic_ops:
+            if not ev["in_scope"]:
+                continue
+            field = ev["field"]
+            fdesc = ("field %s" % field[3]) if field and field[0] == "field" \
+                else ("%s (local)" % field[3] if field else "the target")
+            # --- explicit-order discipline -----------------------------
+            if ev["op"] == "<op>":
+                self._report(
+                    "atomic-implicit-order", ev["file"], ev["line"], ev["fn"],
+                    "atomic operator form on %s (++/--/+=/= or implicit "
+                    "conversion) cannot name a memory order — use "
+                    ".load()/.store()/.fetch_add() with an explicit "
+                    "std::memory_order" % fdesc)
+            elif ev["is_cas"] and ev["nargs"] < 5:
+                self._report(
+                    "atomic-implicit-order", ev["file"], ev["line"], ev["fn"],
+                    "%s on %s names at most one memory order — spell both "
+                    "the success and the failure order explicitly"
+                    % (ev["op"], fdesc))
+            else:
+                need = 2 if (ev["is_cas"] and ev["nargs"] >= 5) else 1
+                g = groups.setdefault(ev["fn"], {"need": 0, "ops": [],
+                                                 "file": ev["file"],
+                                                 "line": ev["line"]})
+                g["need"] += need
+                g["ops"].append(ev["op"])
+                g["line"] = min(g["line"], ev["line"]) or g["line"]
+            # --- classification discipline -----------------------------
+            if field is None or field[0] != "field":
+                continue
+            _, ffile, fline, fname, _cls = field
+            classification = self.ann.for_file(ffile).atomic_class_at(fline)
+            orders = [o for o in (ev["order"], ev["fail_order"])
+                      if o is not None and ev["op"] != "<op>"]
+            if classification is None:
+                self._report(
+                    "atomic-unclassified", ev["file"], ev["line"], ev["fn"],
+                    "atomic field %s is unclassified — annotate its "
+                    "declaration (%s:%d) with DMT_ATOMIC_PUBLISH (carries "
+                    "synchronization) or DMT_ATOMIC_COUNTER (pure statistic)"
+                    % (fname, os.path.relpath(ffile, self.repo_root), fline))
+            elif classification == "publish" and any(o == 0 for o in orders):
+                self._report(
+                    "atomic-publish-relaxed", ev["file"], ev["line"], ev["fn"],
+                    "relaxed %s on DMT_ATOMIC_PUBLISH field %s — publish "
+                    "fields carry synchronization; use the documented "
+                    "acquire/release/seq_cst order or reclassify the field"
+                    % (ev["op"], fname))
+            elif classification == "counter" and any(o != 0 for o in orders):
+                bad = next(o for o in orders if o != 0)
+                self._report(
+                    "atomic-counter-order", ev["file"], ev["line"], ev["fn"],
+                    "%s on DMT_ATOMIC_COUNTER field %s uses memory_order_%s "
+                    "— stat counters synchronize nothing and must be "
+                    "explicitly relaxed (or reclassified DMT_ATOMIC_PUBLISH)"
+                    % (ev["op"], fname, _ORDER_NAMES.get(bad, bad)))
+        for fn, g in groups.items():
+            tokens = self._fn_order_tokens(fn)
+            if tokens < g["need"]:
+                ops = ", ".join(sorted(set(g["ops"])))
+                self._report(
+                    "atomic-implicit-order", g["file"], g["line"], fn,
+                    "atomic %s defaults its std::memory_order (implicit "
+                    "seq_cst): the function writes %d memory_order token%s "
+                    "but performs %d ordered atomic operation%s — the "
+                    "RCU/counter contracts require the order to be spelled "
+                    "at every site" % (ops, tokens,
+                                       "" if tokens == 1 else "s", g["need"],
+                                       "" if g["need"] == 1 else "s"))
+
+    # ------------------------------------------------------------------
+    # Guard discipline (checks)
+    # ------------------------------------------------------------------
+
+    def _fn_extent(self, fi):
+        """(start, end) line range of a function body via brace matching
+        from its signature line, or None."""
+        if fi.file is None or not fi.line:
+            return None
+        lines = self._file_lines(fi.file)
+        if not lines or fi.line > len(lines):
+            return None
+        depth = 0
+        opened = False
+        for i in range(fi.line, min(fi.line + 800, len(lines) + 1)):
+            for ch in lines[i - 1]:
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                elif ch == "}":
+                    depth -= 1
+                    if opened and depth <= 0:
+                        return (fi.line, i)
+        return (fi.line, min(fi.line + 800, len(lines)))
+
+    def _fn_acquires(self, fi, guard):
+        """True if the function's lexical extent acquires `guard`: a scoped
+        lock object constructed on it or a direct .lock() call. Function
+        granularity — a lock anywhere in the body satisfies the check."""
+        ext = self._fn_extent(fi)
+        if ext is None:
+            return False
+        text = "\n".join(self._file_lines(fi.file)[ext[0] - 1:ext[1]])
+        pat = (_ACQUIRE_KINDS + r"\s*(?:<[^;()]*>)?\s+\w+\s*[({]\s*"
+               + re.escape(guard) + r"\b")
+        if re.search(pat, text):
+            return True
+        return re.search(r"\b" + re.escape(guard) + r"\s*\.\s*lock\s*\(",
+                         text) is not None
+
+    def _guard_ok(self, qname, guard, rev, stack):
+        """True if `qname` holds `guard` (lexically / by role), or is
+        reached only from functions that do. Optimistic on cycles."""
+        key = (qname, guard)
+        if key in self._guard_memo:
+            return self._guard_memo[key]
+        if key in stack:
+            return True
+        fi = self.functions.get(qname)
+        if fi is None:
+            return False
+        ok = False
+        if guard == "writer":
+            ok = bool(fi.roles) and "writer_side" in fi.roles
+        else:
+            ok = self._fn_acquires(fi, guard)
+        if not ok:
+            callers = rev.get(qname, ())
+            ok = bool(callers) and all(
+                self._guard_ok(c, guard, rev, stack | {key}) for c in callers)
+        self._guard_memo[key] = ok
+        return ok
+
+    def check_guards(self):
+        if not self.guard_accesses:
+            return
+        rev = {}
+        for fi in self.functions.values():
+            for cs in fi.calls:
+                if cs.callee is not None:
+                    rev.setdefault(cs.callee, set()).add(fi.qname)
+        for ev in self.guard_accesses:
+            comps = ev["fn"].split("::")
+            cls = ev["cls"]
+            # Constructors/destructor of the owning class run before/after
+            # any sharing (and materialize the in-class initializers).
+            if (cls and len(comps) >= 2 and comps[-2] == cls
+                    and comps[-1] in (cls, "~" + cls)):
+                continue
+            if self._guard_ok(ev["fn"], ev["guard"], rev, frozenset()):
+                continue
+            if ev["guard"] == "writer":
+                msg = ("field %s is DMT_GUARDED_BY(writer) but %s is not "
+                       "DMT_WRITER_SIDE and is not reached exclusively from "
+                       "writer-side functions — mark the function or move "
+                       "the access" % (ev["field"], ev["fn"]))
+            else:
+                msg = ("field %s is DMT_GUARDED_BY(%s) but %s does not "
+                       "acquire %s (no scoped lock or .lock() in its body) "
+                       "and is not reached exclusively from functions that "
+                       "do — take the lock or move the access"
+                       % (ev["field"], ev["guard"], ev["fn"], ev["guard"]))
+            self._report("guard-unlocked-access", ev["file"], ev["line"],
+                         ev["fn"], msg)
+
+    # ------------------------------------------------------------------
+    # Untrusted-input checks
+    # ------------------------------------------------------------------
+
+    def _abort_paths(self, qname, stack):
+        """AllocPath-shaped walk to aborting leaves (same mechanics as
+        _alloc_paths; indirect calls are unverifiable and count)."""
+        if qname in self._abort_memo:
+            return self._abort_memo[qname]
+        if qname in stack:
+            return []
+        fi = self.functions.get(qname)
+        if fi is None:
+            return []
+        stack = stack | {qname}
+        out = []
+        for cs in fi.calls:
+            if len(out) >= _MAX_PATHS_PER_FN:
+                break
+            if cs.abort_leaf is not None:
+                out.append(AllocPath([(cs.file, cs.line, cs.abort_leaf)],
+                                     cs.abort_leaf))
+                continue
+            if cs.callee is None:
+                continue
+            sub = self.functions.get(cs.callee)
+            if sub is None or not sub.has_body:
+                continue  # external, body unknown: named leaves backstop
+            for p in self._abort_paths(cs.callee, stack):
+                if len(out) >= _MAX_PATHS_PER_FN:
+                    break
+                out.append(AllocPath([(cs.file, cs.line, cs.callee)] + p.steps,
+                                     p.leaf))
+        for file, line in fi.indirect:
+            if len(out) >= _MAX_PATHS_PER_FN:
+                break
+            out.append(AllocPath(
+                [(file, line, "<indirect call>")],
+                "an indirect call (callee not statically resolvable)"))
+        self._abort_memo[qname] = out
+        return out
+
+    def _has_clamp(self, fi, sink_line):
+        """True if a clamp precedes the sink inside the function body: a
+        remaining()/FitsRemaining/kMax* token, or a call to another
+        DMT_UNTRUSTED_INPUT function (validated-by-decoder — e.g. RecvFrame
+        resizing to a length DecodeFrameHeader already bounded)."""
+        if fi.file is None or not fi.line:
+            return False
+        lines = self._file_lines(fi.file)
+        start = min(fi.line, sink_line)
+        seg = "\n".join(lines[start - 1:min(sink_line, len(lines))])
+        if _CLAMP_RE.search(seg):
+            return True
+        for cs in fi.calls:
+            if cs.callee is None or not cs.line or cs.line > sink_line:
+                continue
+            sub = self.functions.get(cs.callee)
+            if sub is not None and sub.roles and "untrusted" in sub.roles:
+                return True
+        return False
+
+    def check_untrusted(self):
+        roots = [fi for fi in self.functions.values()
+                 if fi.roles and "untrusted" in fi.roles]
+        for fi in sorted(roots, key=lambda f: (f.file or "", f.line or 0)):
+            best = {}
+            for path in self._abort_paths(fi.qname, frozenset()):
+                file, line, _desc = path.steps[0]
+                for sf, sl, _sd in reversed(path.steps):
+                    if _is_repo_file(sf, self.repo_root):
+                        file, line = sf, sl
+                        break
+                key = (file, line)
+                if key not in best or len(path.steps) < len(best[key].steps):
+                    best[key] = path
+            for (file, line), path in sorted(best.items(),
+                                             key=lambda kv: kv[0]):
+                chain = " -> ".join(d for _, _, d in path.steps[:_MAX_CHAIN_SHOWN])
+                if len(path.steps) > _MAX_CHAIN_SHOWN:
+                    chain += " -> ..."
+                self._report(
+                    "untrusted-abort-path", file, line, fi.qname,
+                    "DMT_UNTRUSTED_INPUT decoder reaches %s via %s — "
+                    "decoders parse adversarial bytes and must fail by "
+                    "returning an error, never by trapping" % (path.leaf, chain))
+            for sfile, sline, desc in fi.sinks:
+                if self._has_clamp(fi, sline):
+                    continue
+                self._report(
+                    "untrusted-unclamped-alloc", sfile, sline, fi.qname,
+                    "wire-derived size reaches %s with no prior clamp in "
+                    "%s (no remaining()/FitsRemaining/kMax* bound and no "
+                    "validated-by-decoder call) — bound it against the "
+                    "64 MiB frame backstop before allocating"
+                    % (desc, fi.qname))
+
+    # ------------------------------------------------------------------
     # Reporting / suppression
     # ------------------------------------------------------------------
 
@@ -602,6 +1157,9 @@ class Analyzer:
     def finish(self):
         self.resolve_annotations()
         self.check_noalloc()
+        self.check_atomics()
+        self.check_guards()
+        self.check_untrusted()
         uniq = {}
         for f in self.findings:
             uniq.setdefault((f.file, f.line, f.check_id, f.function,

@@ -229,8 +229,9 @@ def main(argv=None):
     ap.add_argument("--list-fixtures", action="store_true",
                     help="print selftest fixture files, one per line")
     ap.add_argument("--scope-all", action="store_true",
-                    help="apply determinism checks to every linted file, "
-                         "not just the protocol directories")
+                    help="apply the directory-scoped checks (determinism, "
+                         "atomics discipline) to every linted file, not "
+                         "just their default directories")
     ap.add_argument("--verbose", action="store_true")
     opts = ap.parse_args(argv)
 

@@ -4,10 +4,16 @@
 #
 #   1. dmt_lint --selftest   fixture expectations for the contract checks
 #   2. dmt_lint              repo contracts (determinism, no-alloc hot
-#                            paths, no-alias kernels) over every src/*.cc,
-#                            zero findings required
-#   3. clang-tidy            curated .clang-tidy profile, zero warnings
+#                            paths, no-alias kernels, atomics discipline,
+#                            guard discipline, untrusted wire decoding)
+#                            over every src/*.cc, zero findings required
+#   3. clang-tidy            curated .clang-tidy profile (bugprone-*,
+#                            concurrency-*, ...), zero warnings
 #   4. cppcheck              generic bug patterns, zero warnings
+#
+# Every layer runs even when an earlier one fails; the exit status
+# aggregates all of them (worst wins), so one broken tool never hides
+# findings from the rest.
 #
 # Usage: run_static_analysis.sh [--require-tools] [build_dir]
 #
@@ -17,21 +23,28 @@
 #   --require-tools  fail (exit 2) when clang-tidy or cppcheck is missing.
 #                    Default is to skip missing tools with a note, so the
 #                    script stays useful on dev boxes that only have GCC.
-set -euo pipefail
+set -uo pipefail
 
 require_tools=0
 build_dir=build
 for arg in "$@"; do
   case "${arg}" in
     --require-tools) require_tools=1 ;;
-    -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,26p' "$0"; exit 0 ;;
     *) build_dir=${arg} ;;
   esac
 done
 
 repo_root=$(cd "$(dirname "$0")/../.." && pwd)
-cd "${repo_root}"
+cd "${repo_root}" || exit 2
 status=0
+
+# worsen <rc>: fold one layer's exit code into the aggregate (worst wins;
+# 2 = environment error outranks 1 = findings).
+worsen() {
+  local rc=$1
+  if [[ ${rc} -gt ${status} ]]; then status=${rc}; fi
+}
 
 echo "== dmt_lint --selftest =="
 selftest_rc=0
@@ -39,37 +52,50 @@ python3 tools/lint/dmt_lint --selftest || selftest_rc=$?
 if [[ ${selftest_rc} -eq 77 ]]; then
   echo "SKIP: dmt_lint needs GCC for its AST dumps" >&2
 elif [[ ${selftest_rc} -ne 0 ]]; then
-  status=1
+  worsen "${selftest_rc}"
 fi
 
 echo "== dmt_lint (contracts over src/) =="
 if [[ ${selftest_rc} -eq 77 ]]; then
   echo "SKIP: dmt_lint needs GCC for its AST dumps" >&2
 else
-  python3 tools/lint/dmt_lint || status=1
+  lint_rc=0
+  python3 tools/lint/dmt_lint || lint_rc=$?
+  worsen "${lint_rc}"
 fi
 
 cc_json=${build_dir}/compile_commands.json
+have_cc_json=1
 if [[ ! -f "${cc_json}" ]]; then
+  have_cc_json=0
   echo "ERROR: ${cc_json} not found; configure first:" >&2
   echo "  cmake -B ${build_dir} -S ." >&2
-  exit 2
+  worsen 2
 fi
 
 echo "== clang-tidy =="
-if command -v clang-tidy >/dev/null 2>&1; then
-  # shellcheck disable=SC2046
+if [[ ${have_cc_json} -eq 0 ]]; then
+  echo "SKIP: no compile_commands.json" >&2
+elif command -v clang-tidy >/dev/null 2>&1; then
+  tidy_rc=0
   find src -name '*.cc' -print0 \
     | xargs -0 clang-tidy -p "${build_dir}" --quiet \
         --warnings-as-errors='*' \
-    || status=1
+    || tidy_rc=$?
+  if [[ ${tidy_rc} -ne 0 ]]; then worsen 1; fi
 else
   echo "SKIP: clang-tidy not installed" >&2
-  [[ ${require_tools} -eq 1 ]] && { echo "ERROR: --require-tools set" >&2; exit 2; }
+  if [[ ${require_tools} -eq 1 ]]; then
+    echo "ERROR: --require-tools set and clang-tidy missing" >&2
+    worsen 2
+  fi
 fi
 
 echo "== cppcheck =="
-if command -v cppcheck >/dev/null 2>&1; then
+if [[ ${have_cc_json} -eq 0 ]]; then
+  echo "SKIP: no compile_commands.json" >&2
+elif command -v cppcheck >/dev/null 2>&1; then
+  cppcheck_rc=0
   cppcheck \
     --project="${cc_json}" \
     --enable=warning,performance,portability \
@@ -77,15 +103,19 @@ if command -v cppcheck >/dev/null 2>&1; then
     --inline-suppr \
     --error-exitcode=1 \
     --quiet \
-    || status=1
+    || cppcheck_rc=$?
+  if [[ ${cppcheck_rc} -ne 0 ]]; then worsen 1; fi
 else
   echo "SKIP: cppcheck not installed" >&2
-  [[ ${require_tools} -eq 1 ]] && { echo "ERROR: --require-tools set" >&2; exit 2; }
+  if [[ ${require_tools} -eq 1 ]]; then
+    echo "ERROR: --require-tools set and cppcheck missing" >&2
+    worsen 2
+  fi
 fi
 
 if [[ ${status} -eq 0 ]]; then
   echo "static analysis: all layers clean"
 else
-  echo "static analysis: FAILURES above" >&2
+  echo "static analysis: FAILURES above (aggregate exit ${status})" >&2
 fi
-exit ${status}
+exit "${status}"

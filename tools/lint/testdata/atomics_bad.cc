@@ -1,0 +1,54 @@
+// Violating fixture for the atomics-discipline family: implicit orders,
+// operator forms, a mis-ordered publish field, an over-ordered counter,
+// an unclassified atomic, and a single-order compare_exchange.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-FINDING: atomic-implicit-order fn=ImplicitLoad
+// EXPECT-FINDING: atomic-implicit-order fn=OperatorStore
+// EXPECT-FINDING: atomic-publish-relaxed fn=RelaxedPublish
+// EXPECT-FINDING: atomic-counter-order fn=SeqCstCounter
+// EXPECT-FINDING: atomic-unclassified fn=TouchStray
+// EXPECT-FINDING: atomic-implicit-order fn=SingleOrderCas
+#include <atomic>
+
+#include "util/contracts.h"
+
+namespace dmt {
+namespace fixture {
+
+struct State {
+  DMT_ATOMIC_PUBLISH std::atomic<int> head{0};
+  DMT_ATOMIC_COUNTER std::atomic<int> hits{0};
+  std::atomic<int> stray{0};  // no classification: every op is a finding
+};
+
+// Defaulted order: the call is really seq_cst but the code does not say so.
+int ImplicitLoad(State& s) { return s.head.load(); }
+
+// Operator form: cannot name an order at all.
+void OperatorStore(State& s) { s.head = 42; }
+
+// Publish-classified fields carry synchronization; relaxed breaks it.
+void RelaxedPublish(State& s) {
+  s.head.store(1, std::memory_order_relaxed);
+}
+
+// Counter-classified fields are pure stats; seq_cst is an unjustified fence.
+void SeqCstCounter(State& s) {
+  s.hits.fetch_add(1, std::memory_order_seq_cst);
+}
+
+// Explicit order, but the field has no DMT_ATOMIC_* classification.
+void TouchStray(State& s) {
+  s.stray.fetch_add(1, std::memory_order_relaxed);
+}
+
+// compare_exchange with one order defaults the failure order.
+bool SingleOrderCas(State& s) {
+  int expected = 0;
+  return s.head.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acq_rel);
+}
+
+}  // namespace fixture
+}  // namespace dmt

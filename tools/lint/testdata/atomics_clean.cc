@@ -1,0 +1,35 @@
+// Clean fixture for the atomics-discipline family: every operation names
+// its order explicitly, publish fields use ordered operations, counter
+// fields use relaxed, and compare_exchange spells both orders.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-CLEAN
+#include <atomic>
+
+#include "util/contracts.h"
+
+namespace dmt {
+namespace fixture {
+
+struct State {
+  DMT_ATOMIC_PUBLISH std::atomic<int> head{0};
+  DMT_ATOMIC_COUNTER std::atomic<int> hits{0};
+};
+
+int OrderedLoad(State& s) { return s.head.load(std::memory_order_acquire); }
+
+void OrderedStore(State& s) { s.head.store(1, std::memory_order_release); }
+
+void RelaxedCounter(State& s) {
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool TwoOrderCas(State& s) {
+  int expected = 0;
+  return s.head.compare_exchange_strong(expected, 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+}
+
+}  // namespace fixture
+}  // namespace dmt

@@ -1,0 +1,33 @@
+// Violating fixture for the guard-discipline family: a DMT_GUARDED_BY
+// mutex field touched without the lock, and a DMT_GUARDED_BY(writer)
+// field touched outside any DMT_WRITER_SIDE function.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-FINDING: guard-unlocked-access fn=UnlockedTouch
+// EXPECT-FINDING: guard-unlocked-access fn=StrayWriter
+#include <mutex>
+
+#include "util/contracts.h"
+
+namespace dmt {
+namespace fixture {
+
+class Pool {
+ public:
+  void UnlockedTouch();
+  void StrayWriter();
+
+ private:
+  std::mutex mutex_;
+  DMT_GUARDED_BY(mutex_) int pending_ = 0;
+  DMT_GUARDED_BY(writer) int retired_ = 0;
+};
+
+// No lock acquisition anywhere on the path to this access.
+void Pool::UnlockedTouch() { pending_ += 1; }
+
+// Not DMT_WRITER_SIDE, and no writer-side caller.
+void Pool::StrayWriter() { retired_ += 1; }
+
+}  // namespace fixture
+}  // namespace dmt

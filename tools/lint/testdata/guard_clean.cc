@@ -1,0 +1,41 @@
+// Clean fixture for the guard-discipline family: locked access, access
+// from a helper reached only under the lock, and a writer-side function
+// touching a DMT_GUARDED_BY(writer) field.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-CLEAN
+#include <mutex>
+
+#include "util/contracts.h"
+
+namespace dmt {
+namespace fixture {
+
+class Pool {
+ public:
+  void LockedTouch();
+  void Retire();
+
+ private:
+  void TouchImpl();
+
+  std::mutex mutex_;
+  DMT_GUARDED_BY(mutex_) int pending_ = 0;
+  DMT_GUARDED_BY(writer) int retired_ = 0;
+};
+
+void Pool::LockedTouch() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  pending_ += 1;
+  TouchImpl();
+}
+
+// Touches the guarded field without acquiring, but is reached only from
+// LockedTouch, which holds the lock — caller propagation covers it.
+void Pool::TouchImpl() { pending_ += 1; }
+
+DMT_WRITER_SIDE
+void Pool::Retire() { retired_ += 1; }
+
+}  // namespace fixture
+}  // namespace dmt

@@ -1,0 +1,49 @@
+// Violating fixture for the untrusted-input family: decoders that abort
+// (directly and transitively) and a wire-derived size reaching an
+// allocation with no clamp.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-FINDING: untrusted-abort-path fn=DecodeAborts
+// EXPECT-FINDING: untrusted-abort-path fn=DecodeTransitive
+// EXPECT-FINDING: untrusted-unclamped-alloc fn=DecodeUnclamped
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/contracts.h"
+
+namespace dmt {
+namespace fixture {
+
+// Aborting on adversarial bytes instead of returning an error.
+DMT_UNTRUSTED_INPUT
+bool DecodeAborts(const uint8_t* p, size_t n) {
+  DMT_CHECK(n >= 4);
+  return p[0] == 1;
+}
+
+void ValidateOrDie(size_t n) { DMT_CHECK_GE(n, 4u); }
+
+// The abort hides one call deep; the walk is transitive.
+DMT_UNTRUSTED_INPUT
+bool DecodeTransitive(const uint8_t* p, size_t n) {
+  ValidateOrDie(n);
+  return p[0] == 1;
+}
+
+// A length read straight off the wire sizes an allocation unbounded.
+DMT_UNTRUSTED_INPUT
+bool DecodeUnclamped(const uint8_t* p, size_t n,
+                     std::vector<uint8_t>* out) {
+  if (n < 4) return false;
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  out->resize(len);
+  return true;
+}
+
+}  // namespace fixture
+}  // namespace dmt

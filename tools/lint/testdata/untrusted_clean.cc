@@ -1,0 +1,36 @@
+// Clean fixture for the untrusted-input family: decoders fail by
+// returning errors and clamp every wire-derived size before allocating.
+// Compiled only by `dmt_lint --selftest`, never linked into the build.
+//
+// EXPECT-CLEAN
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace dmt {
+namespace fixture {
+
+constexpr uint32_t kMaxBody = 1u << 20;
+
+DMT_UNTRUSTED_INPUT
+bool DecodeClamped(const uint8_t* p, size_t n, std::vector<uint8_t>* out) {
+  if (n < 4) return false;
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  if (len > kMaxBody) return false;
+  out->resize(len);
+  return true;
+}
+
+DMT_UNTRUSTED_INPUT
+bool DecodeChecksFirst(const uint8_t* p, size_t n) {
+  if (n == 0) return false;
+  return p[0] == 1;
+}
+
+}  // namespace fixture
+}  // namespace dmt
